@@ -1,0 +1,85 @@
+// Ablation (§III-A/B): heuristic quality versus the exact MILP optimum.
+// On small random instances the branch-and-bound solver proves optimality;
+// the table reports the optimality gap of Algorithm 1 (ccf) and of
+// Algorithm 1 + local search (ccf-ls), alongside Hash and Mini.
+#include <iostream>
+
+#include "core/ccf.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("bench_ablation_exact",
+                            "Heuristic-vs-exact optimality gap");
+  args.add_flag("nodes", "4", "nodes per instance");
+  args.add_flag("partitions", "12", "partitions per instance");
+  args.add_flag("instances", "30", "number of random instances");
+  args.add_flag("seed", "7", "master seed");
+  args.parse(argc, argv);
+
+  const auto n = static_cast<std::size_t>(args.get_int("nodes"));
+  const auto p = static_cast<std::size_t>(args.get_int("partitions"));
+  const auto count = static_cast<std::size_t>(args.get_int("instances"));
+
+  std::cout << "Exact-vs-heuristic ablation: " << count << " random instances, "
+            << n << " nodes x " << p << " partitions\n\n";
+
+  ccf::util::Accumulator gap_ccf, gap_ls, gap_hash, gap_mini;
+  std::size_t optimal_hits_ccf = 0, optimal_hits_ls = 0, proven = 0;
+  for (std::size_t inst = 0; inst < count; ++inst) {
+    ccf::data::WorkloadSpec spec;
+    spec.nodes = n;
+    spec.partitions = p;
+    spec.customer_bytes = 1e6;
+    spec.orders_bytes = 1e7;
+    spec.zipf_theta = 0.8;
+    spec.skew = 0.0;
+    spec.align_zipf_ranks = false;  // harder, less structured instances
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed")) + inst;
+    const auto w = ccf::data::generate_workload(spec);
+    ccf::opt::AssignmentProblem problem;
+    problem.matrix = &w.matrix;
+
+    ccf::opt::BnbOptions opts;
+    opts.time_limit_s = 5.0;
+    const auto exact = ccf::opt::solve_exact(problem, opts);
+    if (!exact.optimal) continue;  // skip unproven instances
+    ++proven;
+
+    auto gap_of = [&](const char* name) {
+      const auto dest = ccf::join::make_scheduler(name)->schedule(problem);
+      return ccf::opt::makespan(problem, dest) / exact.T;
+    };
+    const double g_ccf = gap_of("ccf");
+    const double g_ls = gap_of("ccf-ls");
+    gap_ccf.add(g_ccf);
+    gap_ls.add(g_ls);
+    gap_hash.add(gap_of("hash"));
+    gap_mini.add(gap_of("mini"));
+    if (g_ccf < 1.0 + 1e-9) ++optimal_hits_ccf;
+    if (g_ls < 1.0 + 1e-9) ++optimal_hits_ls;
+  }
+
+  ccf::util::Table t({"scheduler", "mean T/T*", "worst T/T*", "optimal found"});
+  auto row = [&](const char* name, const ccf::util::Accumulator& acc,
+                 const std::string& hits) {
+    t.add_row({name, ccf::util::format_fixed(acc.mean(), 3),
+               ccf::util::format_fixed(acc.max(), 3), hits});
+  };
+  row("ccf", gap_ccf,
+      std::to_string(optimal_hits_ccf) + "/" + std::to_string(proven));
+  row("ccf-ls", gap_ls,
+      std::to_string(optimal_hits_ls) + "/" + std::to_string(proven));
+  row("hash", gap_hash, "-");
+  row("mini", gap_mini, "-");
+  t.print(std::cout);
+
+  std::cout << "\n" << proven << "/" << count
+            << " instances solved to proven optimality within the time "
+               "limit.\nAlgorithm 1 trades a small gap for polynomial time — "
+               "the trade the paper argues for in §III-B.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension bench (footnote 6): track-join reasons about data movement at
+// per-KEY granularity; the paper notes CCF "can be also extended to that
+// level". Partition granularity is a free knob in this implementation —
+// per-key scheduling is simply p = |key domain| with f(k) = k mod p — so
+// this bench runs the same tuple-level join at coarse (p = n), paper
+// (p = 15n) and per-key granularity and reports what the extra freedom buys.
+#include <iostream>
+
+#include "core/ccf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("bench_ext_perkey",
+                            "Per-key scheduling granularity (track-join level)");
+  args.add_flag("sf", "0.02", "TPC-H scale factor (keys = 150000*sf)");
+  args.add_flag("nodes", "10", "number of computing nodes");
+  args.add_flag("zipf", "0.8", "Zipf placement factor");
+  args.parse(argc, argv);
+
+  ccf::data::TpchConfig cfg;
+  cfg.scale_factor = args.get_double("sf");
+  cfg.nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  cfg.zipf_theta = args.get_double("zipf");
+  const auto customer = ccf::data::generate_customer(cfg);
+  const auto orders = ccf::data::generate_orders(cfg);
+  const std::size_t keys = cfg.customer_rows();
+
+  std::cout << "Granularity sweep: " << orders.tuple_count() << " orders, "
+            << keys << " keys, " << cfg.nodes << " nodes\n\n";
+
+  const ccf::net::Fabric fabric(cfg.nodes, 1e8);
+  ccf::util::Table t({"granularity", "partitions", "Mini traffic",
+                      "Mini CCT", "CCF traffic", "CCF CCT"});
+  for (const auto& [label, p] :
+       {std::pair<const char*, std::size_t>{"coarse (p = n)", cfg.nodes},
+        {"paper (p = 15n)", 15 * cfg.nodes},
+        {"per-key (track-join)", keys + 1}}) {
+    const auto matrix = ccf::data::build_chunk_matrix(customer, orders, p);
+    ccf::opt::AssignmentProblem problem;
+    problem.matrix = &matrix;
+    auto run = [&](const char* name) {
+      const auto dest = ccf::join::make_scheduler(name)->schedule(problem);
+      const auto flows = ccf::join::assignment_flows(matrix, dest);
+      return std::pair{flows.traffic(), ccf::net::gamma_bound(flows, fabric)};
+    };
+    const auto [mini_traffic, mini_cct] = run("mini");
+    const auto [ccf_traffic, ccf_cct] = run("ccf");
+    t.add_row({label, std::to_string(p),
+               ccf::util::format_bytes(mini_traffic),
+               ccf::util::format_seconds(mini_cct),
+               ccf::util::format_bytes(ccf_traffic),
+               ccf::util::format_seconds(ccf_cct)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nFiner granularity lets Mini save more traffic and gives CCF "
+               "more placement freedom;\nper-key scheduling is the "
+               "track-join operating point the paper's footnote refers to.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5: Hash / Mini / CCF over the number of nodes (100..1000),
+// zipf = 0.8, skew = 20%, TPC-H SF600 (~1 TB), p = 15n.
+//
+// Paper's observations to reproduce (§IV-B1):
+//   (a) traffic: Mini < CCF < Hash at every node count;
+//   (b) time: Mini slowest by far (all data flushed to node 0), CCF fastest;
+//       CCF speedup 8.1-15.2x over Mini and 2.1-3.7x over Hash.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("bench_fig5_nodes",
+                            "Reproduces Fig. 5(a)/(b): sweep over #nodes");
+  args.add_flag("nodes", "100:1000:100", "node sweep lo:hi:step");
+  args.add_flag("zipf", "0.8", "Zipf factor");
+  args.add_flag("skew", "0.2", "skew fraction");
+  ccf::bench::add_common_flags(args);
+  args.parse(argc, argv);
+
+  std::cout << "Figure 5 — varying the number of nodes (zipf="
+            << args.get("zipf") << ", skew=" << args.get("skew") << ")\n\n";
+
+  const auto sweep = args.get_int_sweep("nodes");
+  std::vector<ccf::data::WorkloadSpec> specs;
+  for (const auto n : sweep) {
+    ccf::data::WorkloadSpec spec =
+        ccf::data::WorkloadSpec::paper_default(static_cast<std::size_t>(n));
+    spec.zipf_theta = args.get_double("zipf");
+    spec.skew = args.get_double("skew");
+    ccf::bench::apply_common_flags(args, spec);
+    specs.push_back(spec);
+  }
+  const auto points = ccf::bench::run_paper_systems_sweep(specs);
+
+  ccf::bench::FigureReport report("nodes", ccf::bench::open_csv(args));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    report.add(std::to_string(sweep[i]), points[i]);
+  }
+  const ccf::bench::FigurePoint first = points.front();
+  const ccf::bench::FigurePoint last = points.back();
+  report.print("Fig. 5(a) network traffic", "Fig. 5(b) communication time");
+
+  std::cout << "\nPaper reports: traffic Mini < CCF < Hash; CCF speedup "
+               "8.1-15.2x over Mini, 2.1-3.7x over Hash.\n"
+            << "Measured speedup range over this sweep: "
+            << ccf::util::format_fixed(
+                   std::min(first.speedup_over_hash(), last.speedup_over_hash()), 1)
+            << "-"
+            << ccf::util::format_fixed(
+                   std::max(first.speedup_over_hash(), last.speedup_over_hash()), 1)
+            << "x over Hash, "
+            << ccf::util::format_fixed(
+                   std::min(first.speedup_over_mini(), last.speedup_over_mini()), 1)
+            << "-"
+            << ccf::util::format_fixed(
+                   std::max(first.speedup_over_mini(), last.speedup_over_mini()), 1)
+            << "x over Mini (endpoints).\n";
+  return 0;
+}

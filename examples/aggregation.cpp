@@ -1,0 +1,71 @@
+// Distributed aggregation and duplicate elimination — the "other distributed
+// operators" the paper's introduction says CCF applies to. Runs a COUNT
+// group-by and a DISTINCT over ORDERS at tuple level, with and without the
+// combiner (local pre-aggregation), under all three placement schedulers.
+//
+//   ./aggregation [--sf 0.05] [--nodes 8] [--zipf 0.8]
+#include <iostream>
+
+#include "core/ccf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("aggregation",
+                            "Distributed group-by / distinct under CCF");
+  args.add_flag("sf", "0.05", "TPC-H scale factor");
+  args.add_flag("nodes", "8", "number of computing nodes");
+  args.add_flag("zipf", "0.8", "Zipf factor of tuple placement");
+  args.parse(argc, argv);
+
+  ccf::data::TpchConfig cfg;
+  cfg.scale_factor = args.get_double("sf");
+  cfg.nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  cfg.zipf_theta = args.get_double("zipf");
+  const auto orders = ccf::data::generate_orders(cfg);
+  const std::size_t partitions = 15 * cfg.nodes;
+  constexpr std::uint32_t kRecordBytes = 16;
+
+  const auto truth_groups = ccf::join::reference_group_counts(orders);
+  const auto truth_distinct = ccf::join::reference_distinct_count(orders);
+  std::cout << "ORDERS: " << orders.tuple_count() << " tuples, "
+            << truth_groups.size() << " groups over " << cfg.nodes
+            << " nodes\n\n";
+
+  const ccf::net::Fabric fabric(cfg.nodes, 1e8);
+  ccf::util::Table t({"operator", "scheduler", "combiner", "traffic",
+                      "comm. time", "correct"});
+  for (const bool combine : {false, true}) {
+    const auto matrix = ccf::join::aggregation_chunk_matrix(
+        orders, partitions, combine, kRecordBytes);
+    ccf::opt::AssignmentProblem problem;
+    problem.matrix = &matrix;
+    for (const char* name : {"hash", "mini", "ccf"}) {
+      const auto dest = ccf::join::make_scheduler(name)->schedule(problem);
+      const auto agg = ccf::join::execute_distributed_aggregation(
+          orders, partitions, dest, combine, kRecordBytes);
+      const bool agg_ok = agg.group_counts.size() == truth_groups.size();
+      t.add_row({"group-by", name, combine ? "yes" : "no",
+                 ccf::util::format_bytes(agg.flows.traffic()),
+                 ccf::util::format_seconds(
+                     ccf::net::gamma_bound(agg.flows, fabric)),
+                 agg_ok ? "yes" : "NO"});
+
+      const auto dis = ccf::join::execute_distributed_distinct(
+          orders, partitions, dest, combine, kRecordBytes);
+      const bool dis_ok = dis.distinct_keys == truth_distinct;
+      t.add_row({"distinct", name, combine ? "yes" : "no",
+                 ccf::util::format_bytes(dis.flows.traffic()),
+                 ccf::util::format_seconds(
+                     ccf::net::gamma_bound(dis.flows, fabric)),
+                 dis_ok ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nThe shuffle of an aggregation is the same placement problem "
+               "as a join's:\nCCF's co-optimization applies unchanged, and "
+               "the combiner shrinks the chunk\nmatrix the optimizer sees.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Multi-operator analytical job with online coflows — the architecture of
+// Fig. 3 ("an analytical job is decomposed into sequential distributed data
+// operators") plus the paper's future-work direction: several operators'
+// coflows overlapping on the fabric under different inter-coflow schedulers.
+//
+//   ./analytics_job [--nodes 50] [--operators 4] [--stagger 10]
+//
+// Compares FIFO+MADD, Varys (SEBF), Aalo (D-CLAS) and per-flow fair sharing
+// on the same CCF-scheduled job.
+#include <iostream>
+
+#include "core/ccf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("analytics_job",
+                            "Online coflows from a multi-join job");
+  args.add_flag("nodes", "50", "number of computing nodes");
+  args.add_flag("operators", "4", "number of join operators in the job");
+  args.add_flag("stagger", "10", "seconds between operator arrivals");
+  args.parse(argc, argv);
+
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  const auto op_count = static_cast<std::size_t>(args.get_int("operators"));
+  const double stagger = args.get_double("stagger");
+
+  // A star-schema-ish job: one big fact join then smaller dimension joins.
+  std::vector<ccf::core::OperatorSpec> ops;
+  for (std::size_t i = 0; i < op_count; ++i) {
+    ccf::data::WorkloadSpec spec = ccf::data::WorkloadSpec::paper_default(nodes);
+    const double shrink = 1.0 / static_cast<double>(1 + i);  // later ops smaller
+    spec.customer_bytes *= 0.01 * shrink;
+    spec.orders_bytes *= 0.01 * shrink;
+    spec.seed = 100 + i;
+    ops.push_back(ccf::core::OperatorSpec{
+        "op" + std::to_string(i), stagger * static_cast<double>(i), spec});
+  }
+
+  std::cout << "Job: " << op_count << " join operators on " << nodes
+            << " nodes, arrivals staggered by " << stagger << " s\n\n";
+
+  ccf::util::Table t({"inter-coflow scheduler", "avg CCT", "job makespan"});
+  for (const auto& [kind, label] :
+       {std::pair{ccf::net::AllocatorKind::kMadd, "FIFO+MADD"},
+        std::pair{ccf::net::AllocatorKind::kVarys, "Varys (SEBF)"},
+        std::pair{ccf::net::AllocatorKind::kAalo, "Aalo (D-CLAS)"},
+        std::pair{ccf::net::AllocatorKind::kFairSharing, "fair sharing"}}) {
+    ccf::core::JobOptions opts;
+    opts.scheduler = "ccf";
+    opts.allocator = kind;
+    const auto report = ccf::core::run_job(ops, opts);
+    t.add_row({label, ccf::util::format_seconds(report.sim.average_cct()),
+               ccf::util::format_seconds(report.sim.makespan)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCCF's placement layer is agnostic to the coflow scheduler "
+               "underneath —\nany of these can serve as the data processing "
+               "layer of Fig. 3.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The paper's §II motivating example, executed through the real stack.
+//
+// Three nodes hold the key multisets of Fig. 1; three application-level plans
+// (SP0 = hash, SP1 = suboptimal traffic, SP2 = minimal traffic) are turned
+// into coflows and simulated on unit-capacity ports, reproducing:
+//   * the traffic costs 8 / 7 / 6 tuples of Fig. 1, and
+//   * the optimal-coflow CCTs 4 / 3 / 4 time units of Fig. 2,
+// then CCF's Algorithm 1 discovers the T=3 plan by itself.
+#include <iostream>
+
+#include "core/ccf.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+ccf::data::ChunkMatrix fig1_matrix() {
+  // Keys written key^frequency: Node0: 1^3 2 0^3, Node1: 1^6 2^2 5, Node2:
+  // 5^2 0. Partitioned by f(k) = k mod 6 so each key is its own partition.
+  ccf::data::DistributedRelation rel("FIG1", 3);
+  auto add = [&rel](std::size_t node, std::uint64_t key, int count) {
+    for (int c = 0; c < count; ++c) {
+      rel.shard(node).add(ccf::data::Tuple{key, 1});  // 1 byte == 1 tuple
+    }
+  };
+  add(0, 1, 3); add(0, 2, 1); add(0, 0, 3);
+  add(1, 1, 6); add(1, 2, 2); add(1, 5, 1);
+  add(2, 5, 2); add(2, 0, 1);
+  return ccf::data::build_chunk_matrix(rel, 6);
+}
+
+double simulate_cct(const ccf::data::ChunkMatrix& m,
+                    const std::vector<std::uint32_t>& dest) {
+  ccf::net::Simulator sim(ccf::net::Fabric(3, 1.0),
+                          ccf::net::make_allocator("madd"));
+  sim.add_coflow(ccf::net::CoflowSpec("sp", 0.0,
+                                      ccf::join::assignment_flows(m, dest)));
+  return sim.run().coflows[0].cct();
+}
+
+}  // namespace
+
+int main() {
+  const auto m = fig1_matrix();
+  ccf::join::AssignmentProblem problem;
+  problem.matrix = &m;
+
+  // The three schedule plans of Fig. 1 (partitions 3 and 4 are empty).
+  const std::vector<std::uint32_t> sp0 = {0, 1, 2, 0, 1, 2};  // hash
+  const std::vector<std::uint32_t> sp1 = {0, 1, 0, 0, 0, 2};  // Fig. 2(c)
+  const std::vector<std::uint32_t> sp2 = {0, 1, 1, 0, 0, 2};  // traffic-min
+  const auto ccf_plan = ccf::join::CcfScheduler().schedule(problem);
+
+  std::cout << "Fig. 1 / Fig. 2 motivating example (3 nodes, unit-capacity "
+               "ports, 1 tuple = 1 byte)\n\n";
+  ccf::util::Table t({"plan", "traffic (tuples)", "optimal-coflow CCT",
+                      "paper says"});
+  auto row = [&](const char* name, const std::vector<std::uint32_t>& dest,
+                 const char* paper) {
+    const auto flows = ccf::join::assignment_flows(m, dest);
+    t.add_row({name, ccf::util::format_fixed(flows.traffic(), 0),
+               ccf::util::format_fixed(simulate_cct(m, dest), 0), paper});
+  };
+  row("SP0 (hash)", sp0, "traffic 8, CCT 4");
+  row("SP1 (suboptimal)", sp1, "traffic 7, CCT 3");
+  row("SP2 (optimal traffic)", sp2, "traffic 6, CCT 4");
+  row("CCF (Algorithm 1)", ccf_plan, "should match SP1's CCT 3");
+  t.print(std::cout);
+
+  std::cout << "\nThe co-optimization point of the paper: SP1 moves MORE data "
+               "than SP2 yet finishes FASTER\nunder an optimal coflow "
+               "schedule — and CCF finds that plan automatically.\n";
+  return 0;
+}

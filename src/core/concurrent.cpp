@@ -1,0 +1,105 @@
+#include "core/concurrent.hpp"
+
+#include <stdexcept>
+
+#include "core/skew_handling.hpp"
+#include "net/metrics.hpp"
+#include "join/flows.hpp"
+#include "join/schedulers.hpp"
+
+namespace ccf::core {
+
+ConcurrentReport run_concurrent_operators(
+    const std::vector<OperatorSpec>& operators, const JobOptions& options) {
+  if (operators.empty()) {
+    throw std::invalid_argument("run_concurrent_operators: no operators");
+  }
+  const std::size_t n = operators.front().workload.nodes;
+  for (const OperatorSpec& op : operators) {
+    if (op.workload.nodes != n) {
+      throw std::invalid_argument(
+          "run_concurrent_operators: operators span different clusters");
+    }
+  }
+
+  // Prepare every operator once (skew pre-pass shared by both plans).
+  std::vector<PreparedInput> prepared;
+  prepared.reserve(operators.size());
+  std::size_t total_partitions = 0;
+  for (const OperatorSpec& op : operators) {
+    const data::Workload workload = data::generate_workload(op.workload);
+    prepared.push_back(
+        apply_partial_duplication(workload, options.skew_handling));
+    total_partitions += prepared.back().residual.partitions();
+  }
+
+  const auto scheduler = join::make_scheduler(options.scheduler);
+
+  // Plan A: each operator placed in isolation.
+  std::vector<opt::Assignment> independent_dest;
+  for (const PreparedInput& in : prepared) {
+    const opt::AssignmentProblem problem = in.problem();
+    independent_dest.push_back(scheduler->schedule(problem));
+  }
+
+  // Plan B: one stacked instance — the union of all partitions, with the
+  // summed initial loads — placed jointly.
+  data::ChunkMatrix stacked(total_partitions, n);
+  opt::AssignmentProblem joint_problem;
+  joint_problem.initial_egress.assign(n, 0.0);
+  joint_problem.initial_ingress.assign(n, 0.0);
+  {
+    std::size_t row = 0;
+    for (const PreparedInput& in : prepared) {
+      for (std::size_t k = 0; k < in.residual.partitions(); ++k, ++row) {
+        for (std::size_t i = 0; i < n; ++i) {
+          stacked.set(row, i, in.residual.h(k, i));
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        joint_problem.initial_egress[i] += in.initial_egress[i];
+        joint_problem.initial_ingress[i] += in.initial_ingress[i];
+      }
+    }
+  }
+  joint_problem.matrix = &stacked;
+  const opt::Assignment joint_dest = scheduler->schedule(joint_problem);
+
+  // Simulate both configurations with every coflow present from t = 0, and
+  // accumulate the union flow matrix for the model-level Γ comparison.
+  ConcurrentReport report;
+  const net::Fabric fabric(n, options.port_rate);
+  auto run_config = [&](bool joint, double* union_gamma) {
+    net::Simulator sim(std::make_shared<const net::Fabric>(fabric),
+                       net::make_allocator(options.allocator));
+    net::FlowMatrix union_flows(n);
+    std::size_t row = 0;
+    for (std::size_t o = 0; o < operators.size(); ++o) {
+      const PreparedInput& in = prepared[o];
+      net::FlowMatrix flows(n);
+      if (joint) {
+        const std::size_t p = in.residual.partitions();
+        const std::span<const std::uint32_t> slice(joint_dest.data() + row, p);
+        flows = join::assignment_flows(in.residual, slice, in.initial_flows);
+        row += p;
+      } else {
+        flows = join::assignment_flows(in.residual, independent_dest[o],
+                                       in.initial_flows);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          union_flows.add(i, j, flows.volume(i, j));
+        }
+      }
+      sim.add_coflow(net::CoflowSpec(operators[o].name, 0.0, std::move(flows)));
+    }
+    *union_gamma = net::gamma_bound(union_flows, fabric);
+    return sim.run();
+  };
+
+  report.independent = run_config(false, &report.union_gamma_independent);
+  report.joint = run_config(true, &report.union_gamma_joint);
+  return report;
+}
+
+}  // namespace ccf::core

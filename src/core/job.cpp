@@ -1,0 +1,51 @@
+#include "core/job.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/skew_handling.hpp"
+#include "join/flows.hpp"
+#include "join/schedulers.hpp"
+
+namespace ccf::core {
+
+JobReport run_job(const std::vector<OperatorSpec>& operators,
+                  const JobOptions& options) {
+  if (operators.empty()) {
+    throw std::invalid_argument("run_job: no operators");
+  }
+  const std::size_t n = operators.front().workload.nodes;
+  for (const OperatorSpec& op : operators) {
+    if (op.workload.nodes != n) {
+      throw std::invalid_argument("run_job: operators span different clusters");
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  JobReport report;
+  net::Simulator sim(net::Fabric(n, options.port_rate),
+                     net::make_allocator(options.allocator));
+
+  const auto scheduler = join::make_scheduler(options.scheduler);
+  for (const OperatorSpec& op : operators) {
+    const data::Workload workload = data::generate_workload(op.workload);
+    const PreparedInput prepared =
+        apply_partial_duplication(workload, options.skew_handling);
+    const opt::AssignmentProblem problem = prepared.problem();
+
+    const auto t0 = Clock::now();
+    const opt::Assignment dest = scheduler->schedule(problem);
+    const auto t1 = Clock::now();
+    report.schedule_seconds += std::chrono::duration<double>(t1 - t0).count();
+
+    net::FlowMatrix flows =
+        join::assignment_flows(prepared.residual, dest, prepared.initial_flows);
+    report.total_traffic_bytes += flows.traffic();
+    sim.add_coflow(net::CoflowSpec(op.name, op.arrival, std::move(flows)));
+  }
+
+  report.sim = sim.run();
+  return report;
+}
+
+}  // namespace ccf::core

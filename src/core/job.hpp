@@ -1,0 +1,43 @@
+// Multi-operator analytical jobs — the paper's architecture decomposes "an
+// analytical job into sequential distributed data operators" (Fig. 3) and its
+// future work targets full analytical queries and online coflows. Each
+// operator's placement is co-optimized independently; the resulting coflows
+// arrive over time and compete on the fabric under a chosen inter-coflow
+// scheduler (FIFO+MADD, Varys, Aalo, or fair sharing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/workload.hpp"
+#include "net/allocator.hpp"
+#include "net/simulator.hpp"
+
+namespace ccf::core {
+
+/// One operator (e.g. one join's shuffle) inside a job.
+struct OperatorSpec {
+  std::string name = "op";
+  double arrival = 0.0;  ///< when its coflow becomes ready (seconds)
+  data::WorkloadSpec workload;
+};
+
+struct JobOptions {
+  std::string scheduler = "ccf";  ///< placement policy for every operator
+  bool skew_handling = true;
+  net::AllocatorKind allocator = net::AllocatorKind::kVarys;
+  double port_rate = net::Fabric::kDefaultPortRate;
+};
+
+struct JobReport {
+  net::SimReport sim;              ///< per-operator CCTs + makespan
+  double total_traffic_bytes = 0;  ///< across all operators
+  double schedule_seconds = 0;     ///< total placement time
+};
+
+/// Schedule and simulate a whole job. All operators must share a node count.
+JobReport run_job(const std::vector<OperatorSpec>& operators,
+                  const JobOptions& options);
+
+}  // namespace ccf::core

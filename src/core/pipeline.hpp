@@ -1,0 +1,54 @@
+// The CCF pipeline (Fig. 3): workload -> (skew pre-pass) -> application-level
+// placement -> flow matrix -> coflow -> network simulation -> report.
+// This is the top-level API the examples and every figure bench drive.
+#pragma once
+
+#include <string>
+
+#include "data/workload.hpp"
+#include "net/allocator.hpp"
+#include "net/fabric.hpp"
+#include "net/simulator.hpp"
+
+namespace ccf::core {
+
+struct PipelineOptions {
+  /// Placement scheduler: "hash" | "mini" | "ccf" | "ccf-ls" | "exact" |
+  /// "random" (join::make_scheduler names).
+  std::string scheduler = "ccf";
+  /// Apply partial duplication before scheduling. The paper enables it for
+  /// Mini and CCF but not for Hash (§IV-A).
+  bool skew_handling = true;
+  /// Network-level coflow scheduler; the paper's experiments use the optimal
+  /// single-coflow schedule, i.e. MADD.
+  net::AllocatorKind allocator = net::AllocatorKind::kMadd;
+  /// Port bandwidth in bytes/second.
+  double port_rate = net::Fabric::kDefaultPortRate;
+  /// If false, skip the event simulation and report the analytic Γ as the
+  /// CCT (exact for MADD; used by large sweeps for speed).
+  bool simulate = true;
+
+  /// The paper's configuration for one of the three compared systems:
+  /// "hash" (no skew handling), "mini"/"ccf" (with skew handling); all on
+  /// the optimal coflow schedule.
+  static PipelineOptions paper_system(const std::string& scheduler_name);
+};
+
+/// Everything the paper reports for one (workload, system) run.
+struct RunReport {
+  std::string scheduler;
+  double traffic_bytes = 0.0;     ///< Fig. 5(a)/6(a)/7(a): network traffic
+  double cct_seconds = 0.0;       ///< Fig. 5(b)/6(b)/7(b): communication time
+  double gamma_seconds = 0.0;     ///< analytic single-coflow bound
+  double makespan_bytes = 0.0;    ///< the model's T (bottleneck port bytes)
+  double schedule_seconds = 0.0;  ///< placement-scheduler wall time
+  std::size_t flow_count = 0;
+  bool skew_handled = false;
+  net::SimReport sim;             ///< populated when options.simulate
+};
+
+/// Run one operator (one distributed join) through the full pipeline.
+RunReport run_pipeline(const data::Workload& workload,
+                       const PipelineOptions& options);
+
+}  // namespace ccf::core

@@ -1,0 +1,61 @@
+#include "core/skew_handling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccf::core {
+
+opt::AssignmentProblem PreparedInput::problem() const {
+  opt::AssignmentProblem p;
+  p.matrix = &residual;
+  p.initial_egress = initial_egress;
+  p.initial_ingress = initial_ingress;
+  return p;
+}
+
+PreparedInput apply_partial_duplication(const data::Workload& workload,
+                                        bool enable) {
+  const std::size_t n = workload.matrix.nodes();
+  PreparedInput out{workload.matrix, net::FlowMatrix(n),
+                    std::vector<double>(n, 0.0), std::vector<double>(n, 0.0),
+                    0.0, 0.0, false};
+  const data::SkewInfo& skew = workload.skew;
+  if (!enable || !skew.present) return out;
+
+  if (skew.skewed_bytes_per_node.size() != n) {
+    throw std::invalid_argument("apply_partial_duplication: skew size mismatch");
+  }
+  const std::size_t hot = skew.hot_partition;
+
+  // Pin the skewed probe-side bytes: remove them from the hot partition's
+  // chunks — they stay where they are and cost nothing.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pinned =
+        std::min(skew.skewed_bytes_per_node[i], out.residual.h(hot, i));
+    out.residual.add(hot, i, -pinned);
+    out.pinned_local_bytes += pinned;
+  }
+
+  // Broadcast the build-side hot tuples from their holder to everyone else.
+  const std::size_t src = skew.broadcast_source;
+  if (src >= n) {
+    throw std::invalid_argument("apply_partial_duplication: bad broadcast source");
+  }
+  if (skew.broadcast_bytes > 0.0) {
+    // The broadcast tuples leave the normal redistribution path.
+    const double removed =
+        std::min(skew.broadcast_bytes, out.residual.h(hot, src));
+    out.residual.add(hot, src, -removed);
+    out.broadcast_removed_bytes = removed;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      out.initial_flows.add(src, dst, skew.broadcast_bytes);
+      out.initial_egress[src] += skew.broadcast_bytes;
+      out.initial_ingress[dst] += skew.broadcast_bytes;
+    }
+  }
+  out.skew_handled = true;
+  return out;
+}
+
+}  // namespace ccf::core

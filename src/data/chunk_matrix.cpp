@@ -1,0 +1,58 @@
+#include "data/chunk_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccf::data {
+
+ChunkMatrix::ChunkMatrix(std::size_t partitions, std::size_t nodes)
+    : partitions_(partitions), nodes_(nodes), data_(partitions * nodes, 0.0) {
+  if (partitions == 0 || nodes == 0) {
+    throw std::invalid_argument("ChunkMatrix: partitions and nodes must be >= 1");
+  }
+}
+
+double ChunkMatrix::partition_total(std::size_t k) const noexcept {
+  double s = 0.0;
+  for (const double v : partition_row(k)) s += v;
+  return s;
+}
+
+double ChunkMatrix::partition_max(std::size_t k) const noexcept {
+  const auto row = partition_row(k);
+  return *std::max_element(row.begin(), row.end());
+}
+
+std::size_t ChunkMatrix::partition_argmax(std::size_t k) const noexcept {
+  const auto row = partition_row(k);
+  return static_cast<std::size_t>(
+      std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+double ChunkMatrix::node_total(std::size_t i) const noexcept {
+  double s = 0.0;
+  for (std::size_t k = 0; k < partitions_; ++k) s += h(k, i);
+  return s;
+}
+
+double ChunkMatrix::total() const noexcept {
+  double s = 0.0;
+  for (const double v : data_) s += v;
+  return s;
+}
+
+double max_abs_diff(const ChunkMatrix& a, const ChunkMatrix& b) {
+  if (a.partitions() != b.partitions() || a.nodes() != b.nodes()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t k = 0; k < a.partitions(); ++k) {
+    for (std::size_t i = 0; i < a.nodes(); ++i) {
+      d = std::max(d, std::fabs(a.h(k, i) - b.h(k, i)));
+    }
+  }
+  return d;
+}
+
+}  // namespace ccf::data

@@ -1,0 +1,75 @@
+#include "data/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/csv_reader.hpp"
+
+namespace ccf::data {
+
+namespace {
+
+bool numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+ChunkMatrix chunk_matrix_from_csv(const std::string& path,
+                                  std::size_t partitions, std::size_t nodes) {
+  auto rows = util::read_csv_file(path);
+  if (!rows.empty() && !rows.front().empty() && !numeric_cell(rows.front()[0])) {
+    rows.erase(rows.begin());
+  }
+  struct Entry {
+    std::size_t partition, node;
+    double bytes;
+  };
+  std::vector<Entry> entries;
+  std::size_t max_partition = 0, max_node = 0;
+  for (const auto& row : rows) {
+    if (row.size() < 3) {
+      throw std::invalid_argument(
+          "chunk_matrix_from_csv: expected partition,node,bytes rows");
+    }
+    Entry e{};
+    e.partition = static_cast<std::size_t>(std::stoull(row[0]));
+    e.node = static_cast<std::size_t>(std::stoull(row[1]));
+    e.bytes = std::stod(row[2]);
+    if (e.bytes < 0.0) {
+      throw std::invalid_argument("chunk_matrix_from_csv: negative bytes");
+    }
+    max_partition = std::max(max_partition, e.partition);
+    max_node = std::max(max_node, e.node);
+    entries.push_back(e);
+  }
+  const std::size_t p = partitions == 0 ? max_partition + 1 : partitions;
+  const std::size_t n = nodes == 0 ? max_node + 1 : nodes;
+  if (max_partition >= p || max_node >= n) {
+    throw std::invalid_argument("chunk_matrix_from_csv: index out of range");
+  }
+  ChunkMatrix m(p, n);
+  for (const Entry& e : entries) m.add(e.partition, e.node, e.bytes);
+  return m;
+}
+
+void chunk_matrix_to_csv(const ChunkMatrix& matrix, const std::string& path) {
+  util::CsvWriter out(path);
+  out.header({"partition", "node", "bytes"});
+  char buf[64];
+  for (std::size_t k = 0; k < matrix.partitions(); ++k) {
+    for (std::size_t i = 0; i < matrix.nodes(); ++i) {
+      const double v = matrix.h(k, i);
+      if (v <= 0.0) continue;
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out.row({std::to_string(k), std::to_string(i), buf});
+    }
+  }
+}
+
+}  // namespace ccf::data

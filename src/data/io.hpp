@@ -1,0 +1,21 @@
+// Chunk-matrix serialization: "partition,node,bytes" CSV (with an optional
+// header row), the interchange format of the ccf_schedule tool.
+#pragma once
+
+#include <string>
+
+#include "data/chunk_matrix.hpp"
+
+namespace ccf::data {
+
+/// Parse a chunk list CSV. `partitions`/`nodes` == 0 infer the dimensions
+/// from the maximum indices seen. A non-numeric first row is skipped as a
+/// header. Repeated (partition,node) rows accumulate.
+ChunkMatrix chunk_matrix_from_csv(const std::string& path,
+                                  std::size_t partitions = 0,
+                                  std::size_t nodes = 0);
+
+/// Write the non-zero entries as "partition,node,bytes" with a header row.
+void chunk_matrix_to_csv(const ChunkMatrix& matrix, const std::string& path);
+
+}  // namespace ccf::data

@@ -1,0 +1,41 @@
+#include "data/partitioner.hpp"
+
+#include <stdexcept>
+
+namespace ccf::data {
+
+namespace {
+
+void accumulate(const DistributedRelation& relation, std::size_t partitions,
+                ChunkMatrix& m) {
+  for (std::size_t node = 0; node < relation.node_count(); ++node) {
+    for (const Tuple& t : relation.shard(node).tuples()) {
+      m.add(partition_of(t.key, partitions), node,
+            static_cast<double>(t.payload_bytes));
+    }
+  }
+}
+
+}  // namespace
+
+ChunkMatrix build_chunk_matrix(const DistributedRelation& relation,
+                               std::size_t partitions) {
+  ChunkMatrix m(partitions, relation.node_count());
+  accumulate(relation, partitions, m);
+  return m;
+}
+
+ChunkMatrix build_chunk_matrix(const DistributedRelation& build_side,
+                               const DistributedRelation& probe_side,
+                               std::size_t partitions) {
+  if (build_side.node_count() != probe_side.node_count()) {
+    throw std::invalid_argument(
+        "build_chunk_matrix: relations live on different cluster sizes");
+  }
+  ChunkMatrix m(partitions, build_side.node_count());
+  accumulate(build_side, partitions, m);
+  accumulate(probe_side, partitions, m);
+  return m;
+}
+
+}  // namespace ccf::data

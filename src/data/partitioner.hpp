@@ -1,0 +1,31 @@
+// Hash partitioning (paper §IV-A3: "we just use a simple hash function
+// f(k) = k mod p to partition data tuples") and builders turning tuple-level
+// relations into the h_{ik} chunk-size matrix.
+#pragma once
+
+#include <cstdint>
+
+#include "data/chunk_matrix.hpp"
+#include "data/relation.hpp"
+
+namespace ccf::data {
+
+/// The paper's partition function: f(key) = key mod p.
+constexpr std::size_t partition_of(std::uint64_t key, std::size_t p) noexcept {
+  return static_cast<std::size_t>(key % p);
+}
+
+/// Build the p x n chunk matrix of a single relation: h(k,i) = payload bytes
+/// of tuples on node i whose key hashes to partition k.
+ChunkMatrix build_chunk_matrix(const DistributedRelation& relation,
+                               std::size_t partitions);
+
+/// Build the combined chunk matrix of a two-relation join input: both sides
+/// are partitioned on the join key, and a partition's chunk on a node is the
+/// sum of both relations' bytes there (both sides move together in the
+/// redistribution stage). The relations must live on the same cluster.
+ChunkMatrix build_chunk_matrix(const DistributedRelation& build_side,
+                               const DistributedRelation& probe_side,
+                               std::size_t partitions);
+
+}  // namespace ccf::data

@@ -1,0 +1,31 @@
+#include "data/relation.hpp"
+
+#include <stdexcept>
+
+namespace ccf::data {
+
+void Shard::recount() noexcept {
+  bytes_ = 0;
+  for (const Tuple& t : tuples_) bytes_ += t.payload_bytes;
+}
+
+DistributedRelation::DistributedRelation(std::string name, std::size_t nodes)
+    : name_(std::move(name)), shards_(nodes) {
+  if (nodes == 0) {
+    throw std::invalid_argument("DistributedRelation: nodes must be >= 1");
+  }
+}
+
+std::size_t DistributedRelation::tuple_count() const noexcept {
+  std::size_t c = 0;
+  for (const Shard& s : shards_) c += s.size();
+  return c;
+}
+
+std::uint64_t DistributedRelation::total_bytes() const noexcept {
+  std::uint64_t b = 0;
+  for (const Shard& s : shards_) b += s.bytes();
+  return b;
+}
+
+}  // namespace ccf::data

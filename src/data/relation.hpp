@@ -1,0 +1,71 @@
+// Tuple-level data containers.
+//
+// The scheduler/simulator stack works on distribution-level chunk-size
+// matrices (see chunk_matrix.hpp), but the reproduction also carries a real
+// tuple-level substrate: relations sharded over the nodes of the simulated
+// cluster. It is used by the examples, by the distributed-join correctness
+// tests, and to validate that the analytic generator and the tuple generator
+// agree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccf::data {
+
+/// One relational tuple, reduced to what the reproduction needs: the join key
+/// and the number of payload bytes it carries over the wire (the paper fixes
+/// this at 1000 B so flow volume == tuple count x 1000).
+struct Tuple {
+  std::uint64_t key = 0;
+  std::uint32_t payload_bytes = 0;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+};
+
+/// The fragment of a relation resident on one node.
+class Shard {
+ public:
+  void add(Tuple t) {
+    bytes_ += t.payload_bytes;
+    tuples_.push_back(t);
+  }
+  const std::vector<Tuple>& tuples() const noexcept { return tuples_; }
+  std::size_t size() const noexcept { return tuples_.size(); }
+  bool empty() const noexcept { return tuples_.empty(); }
+  /// Total payload bytes in this shard.
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+  std::vector<Tuple>& mutable_tuples() noexcept { return tuples_; }
+  /// Recompute bytes_ after external mutation through mutable_tuples().
+  void recount() noexcept;
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// A relation horizontally partitioned over the n nodes of a cluster.
+class DistributedRelation {
+ public:
+  DistributedRelation(std::string name, std::size_t nodes);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t node_count() const noexcept { return shards_.size(); }
+
+  Shard& shard(std::size_t node) { return shards_.at(node); }
+  const Shard& shard(std::size_t node) const { return shards_.at(node); }
+
+  /// Total tuples across all shards.
+  std::size_t tuple_count() const noexcept;
+  /// Total payload bytes across all shards.
+  std::uint64_t total_bytes() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ccf::data

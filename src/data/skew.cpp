@@ -1,0 +1,35 @@
+#include "data/skew.hpp"
+
+#include <stdexcept>
+
+namespace ccf::data {
+
+std::uint64_t inject_skew(DistributedRelation& relation, double fraction,
+                          std::uint64_t hot_key, ccf::util::Pcg32& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("inject_skew: fraction must be in [0,1]");
+  }
+  std::uint64_t rewritten = 0;
+  for (std::size_t node = 0; node < relation.node_count(); ++node) {
+    for (Tuple& t : relation.shard(node).mutable_tuples()) {
+      if (rng.uniform01() < fraction) {
+        t.key = hot_key;
+        ++rewritten;
+      }
+    }
+  }
+  return rewritten;
+}
+
+std::uint64_t count_key(const DistributedRelation& relation,
+                        std::uint64_t key) {
+  std::uint64_t c = 0;
+  for (std::size_t node = 0; node < relation.node_count(); ++node) {
+    for (const Tuple& t : relation.shard(node).tuples()) {
+      if (t.key == key) ++c;
+    }
+  }
+  return c;
+}
+
+}  // namespace ccf::data

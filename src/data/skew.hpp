@@ -1,0 +1,25 @@
+// Skew injection (paper §IV-A2): "we randomly choose a portion of data and
+// change their custkey to a specified value", e.g. 20% of the tuples get key 1
+// making the skewness 20%. We apply this to the probe-side relation (ORDERS),
+// the only reading consistent with the partial-duplication skew handler of
+// §III-C (skewed big-relation tuples stay local, matching small-relation
+// tuples broadcast).
+#pragma once
+
+#include <cstdint>
+
+#include "data/relation.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::data {
+
+/// Rewrite each tuple's key to `hot_key` independently with probability
+/// `fraction` (in [0,1]). Returns the number of rewritten tuples.
+/// Deterministic in (relation contents, rng state).
+std::uint64_t inject_skew(DistributedRelation& relation, double fraction,
+                          std::uint64_t hot_key, ccf::util::Pcg32& rng);
+
+/// Count tuples in `relation` carrying exactly `key`.
+std::uint64_t count_key(const DistributedRelation& relation, std::uint64_t key);
+
+}  // namespace ccf::data

@@ -1,0 +1,136 @@
+#include "data/workload.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "data/partitioner.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ccf::data {
+
+WorkloadSpec WorkloadSpec::paper_default(std::size_t nodes) {
+  WorkloadSpec s;
+  s.nodes = nodes;
+  s.partitions = 15 * nodes;
+  return s;
+}
+
+double SkewInfo::skewed_bytes_total() const noexcept {
+  return std::accumulate(skewed_bytes_per_node.begin(),
+                         skewed_bytes_per_node.end(), 0.0);
+}
+
+Workload generate_workload(const WorkloadSpec& spec) {
+  if (spec.nodes == 0 || spec.partitions == 0) {
+    throw std::invalid_argument("generate_workload: nodes/partitions >= 1");
+  }
+  if (spec.skew < 0.0 || spec.skew > 1.0) {
+    throw std::invalid_argument("generate_workload: skew must be in [0,1]");
+  }
+  const std::size_t n = spec.nodes;
+  const std::size_t p = spec.partitions;
+
+  util::Pcg32 rng(util::derive_seed(spec.seed, 7), 7);
+  const std::vector<double> w = util::zipf_weights(n, spec.zipf_theta);
+
+  // Partition totals: non-skewed mass spread evenly with jitter, then
+  // renormalized so the byte total is exact.
+  const double base_total =
+      spec.customer_bytes + spec.orders_bytes * (1.0 - spec.skew);
+  std::vector<double> part_bytes(p);
+  double jitter_sum = 0.0;
+  for (std::size_t k = 0; k < p; ++k) {
+    part_bytes[k] = 1.0 + rng.uniform(-spec.jitter, spec.jitter);
+    jitter_sum += part_bytes[k];
+  }
+  for (double& b : part_bytes) b *= base_total / jitter_sum;
+
+  ChunkMatrix m(p, n);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < p; ++k) {
+    if (!spec.align_zipf_ranks) {
+      // Fresh random rank->node permutation per partition (ablation mode).
+      for (std::size_t i = n; i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.bounded(static_cast<std::uint32_t>(i)));
+        std::swap(perm[i - 1], perm[j]);
+      }
+    }
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      m.set(k, perm[rank], part_bytes[k] * w[rank]);
+    }
+  }
+
+  SkewInfo info;
+  if (spec.skew > 0.0) {
+    info.present = true;
+    info.hot_key = spec.hot_key;
+    info.hot_partition = partition_of(spec.hot_key, p);
+    info.skewed_bytes_per_node.resize(n, 0.0);
+    const double skewed_total = spec.orders_bytes * spec.skew;
+    // Rewritten tuples are picked uniformly from ORDERS, so across nodes they
+    // follow the (aligned) tuple placement distribution.
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const double share = skewed_total * w[rank];
+      info.skewed_bytes_per_node[rank] = share;
+      m.add(info.hot_partition, rank, share);
+    }
+    // The single build-side tuple with the hot key; place it on the most
+    // likely node under the placement distribution (rank 0).
+    info.broadcast_source = 0;
+    info.broadcast_bytes = spec.payload_bytes;
+  }
+
+  return Workload{std::move(m), std::move(info), spec};
+}
+
+Workload workload_from_tuples(const DistributedRelation& customer,
+                              const DistributedRelation& orders,
+                              std::size_t partitions, std::uint64_t hot_key) {
+  if (customer.node_count() != orders.node_count()) {
+    throw std::invalid_argument("workload_from_tuples: cluster size mismatch");
+  }
+  const std::size_t n = customer.node_count();
+  ChunkMatrix m = build_chunk_matrix(customer, orders, partitions);
+
+  SkewInfo info;
+  info.hot_key = hot_key;
+  info.hot_partition = partition_of(hot_key, partitions);
+  info.skewed_bytes_per_node.assign(n, 0.0);
+  double hot_orders_total = 0.0;
+  for (std::size_t node = 0; node < n; ++node) {
+    for (const Tuple& t : orders.shard(node).tuples()) {
+      if (t.key == hot_key) {
+        info.skewed_bytes_per_node[node] += t.payload_bytes;
+        hot_orders_total += t.payload_bytes;
+      }
+    }
+  }
+  double hot_customer_bytes = 0.0;
+  std::size_t hot_customer_node = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    for (const Tuple& t : customer.shard(node).tuples()) {
+      if (t.key == hot_key) {
+        hot_customer_bytes += t.payload_bytes;
+        hot_customer_node = node;
+      }
+    }
+  }
+  info.broadcast_source = hot_customer_node;
+  info.broadcast_bytes = hot_customer_bytes;
+  info.present = hot_orders_total > 0.0;
+
+  WorkloadSpec spec;
+  spec.nodes = n;
+  spec.partitions = partitions;
+  spec.customer_bytes = static_cast<double>(customer.total_bytes());
+  spec.orders_bytes = static_cast<double>(orders.total_bytes());
+  spec.hot_key = hot_key;
+  spec.skew = spec.orders_bytes > 0.0 ? hot_orders_total / spec.orders_bytes : 0.0;
+
+  return Workload{std::move(m), std::move(info), spec};
+}
+
+}  // namespace ccf::data

@@ -1,0 +1,86 @@
+// Distribution-level workload generation for paper-scale experiments.
+//
+// The schedulers and the coflow simulator consume only (a) the p x n chunk
+// matrix h_{ik} and (b) skew metadata — never tuple contents. At the paper's
+// scale (SF 600, ~1 TB, up to 1000 nodes, p = 15n partitions) materializing
+// 990 M tuples is pointless, so this generator builds h_{ik} directly from the
+// same distributions the tuple-level generator samples:
+//
+//   * partition totals: uniform keys => (customer+orders) bytes split evenly
+//     over p partitions, with a small multiplicative jitter;
+//   * per-partition split across nodes: Zipf(theta) rank weights, rank-aligned
+//     (node 0 holds the largest chunk of every partition — §IV-B1) unless
+//     align_zipf_ranks is false, in which case each partition gets an
+//     independent random rank->node permutation (ablation only; the
+//     tuple-level generator cannot express this because node placement
+//     happens before partitioning);
+//   * skew: a fraction `skew` of ORDERS bytes is rewritten to `hot_key`,
+//     i.e. removed proportionally from all partitions' orders mass and added
+//     to partition (hot_key mod p), spread over nodes with the aligned Zipf
+//     weights (rewritten tuples are chosen uniformly at random, so they
+//     inherit the tuple placement distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/chunk_matrix.hpp"
+#include "data/relation.hpp"
+
+namespace ccf::data {
+
+/// Full parameter set of one experiment data point.
+struct WorkloadSpec {
+  std::size_t nodes = 100;
+  std::size_t partitions = 1500;   ///< paper default: p = 15 * nodes
+  double customer_bytes = 90e9;    ///< SF600: 90 M tuples x 1000 B
+  double orders_bytes = 900e9;     ///< SF600: 900 M tuples x 1000 B
+  double payload_bytes = 1000.0;   ///< per-tuple wire size
+  double zipf_theta = 0.8;         ///< "zipf" factor of §IV (default 0.8)
+  double skew = 0.2;               ///< "skew" fraction of §IV (default 20%)
+  std::uint64_t hot_key = 1;       ///< the key skewed tuples are rewritten to
+  bool align_zipf_ranks = true;    ///< node 0 largest everywhere (paper)
+  double jitter = 0.01;            ///< relative partition-size jitter
+  std::uint64_t seed = 42;
+
+  /// The paper's configuration for a given node count: p = 15n, TPC-H SF 600.
+  static WorkloadSpec paper_default(std::size_t nodes);
+
+  double total_bytes() const noexcept { return customer_bytes + orders_bytes; }
+};
+
+/// Skew metadata consumed by the partial-duplication handler (core/skew).
+struct SkewInfo {
+  bool present = false;
+  std::uint64_t hot_key = 0;
+  std::size_t hot_partition = 0;
+  /// Probe-side (ORDERS) bytes carrying the hot key, per node. Under partial
+  /// duplication these stay local and never enter the coflow.
+  std::vector<double> skewed_bytes_per_node;
+  /// Node holding the build-side (CUSTOMER) tuples with the hot key.
+  std::size_t broadcast_source = 0;
+  /// Build-side hot bytes broadcast to each *other* node.
+  double broadcast_bytes = 0.0;
+
+  double skewed_bytes_total() const noexcept;
+};
+
+/// A generated experiment input: what every scheduler sees.
+struct Workload {
+  ChunkMatrix matrix;  ///< includes the skewed mass (what Hash redistributes)
+  SkewInfo skew;
+  WorkloadSpec spec;
+};
+
+/// Build a workload analytically from a spec (paper-scale path).
+Workload generate_workload(const WorkloadSpec& spec);
+
+/// Build the same Workload structure from real tuple relations (small-scale
+/// path used by tests/examples): the matrix comes from hash-partitioning the
+/// tuples, and SkewInfo from counting hot-key tuples. `hot_key` tuples in
+/// `orders` are treated as skew if any exist beyond the uniform expectation.
+Workload workload_from_tuples(const DistributedRelation& customer,
+                              const DistributedRelation& orders,
+                              std::size_t partitions, std::uint64_t hot_key);
+
+}  // namespace ccf::data

@@ -1,0 +1,135 @@
+#include "join/aggregate.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "data/partitioner.hpp"
+
+namespace ccf::join {
+
+namespace {
+
+void validate(const data::DistributedRelation& input, std::size_t partitions,
+              std::span<const std::uint32_t> dest) {
+  if (dest.size() != partitions) {
+    throw std::invalid_argument("operators: assignment size != partitions");
+  }
+  for (const std::uint32_t d : dest) {
+    if (d >= input.node_count()) {
+      throw std::invalid_argument("operators: destination out of range");
+    }
+  }
+}
+
+}  // namespace
+
+data::ChunkMatrix aggregation_chunk_matrix(const data::DistributedRelation& input,
+                                           std::size_t partitions,
+                                           bool pre_aggregate,
+                                           std::uint32_t record_bytes) {
+  data::ChunkMatrix m(partitions, input.node_count());
+  if (!pre_aggregate) {
+    for (std::size_t node = 0; node < input.node_count(); ++node) {
+      for (const data::Tuple& t : input.shard(node).tuples()) {
+        m.add(data::partition_of(t.key, partitions), node,
+              static_cast<double>(t.payload_bytes));
+      }
+    }
+    return m;
+  }
+  // Combiner: one record per distinct (node, key).
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t node = 0; node < input.node_count(); ++node) {
+    seen.clear();
+    for (const data::Tuple& t : input.shard(node).tuples()) {
+      if (seen.insert(t.key).second) {
+        m.add(data::partition_of(t.key, partitions), node,
+              static_cast<double>(record_bytes));
+      }
+    }
+  }
+  return m;
+}
+
+AggregationResult execute_distributed_aggregation(
+    const data::DistributedRelation& input, std::size_t partitions,
+    std::span<const std::uint32_t> dest, bool pre_aggregate,
+    std::uint32_t record_bytes) {
+  validate(input, partitions, dest);
+  const std::size_t n = input.node_count();
+  AggregationResult result(n);
+
+  // Per-destination partial counts after the shuffle.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> partial(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    if (pre_aggregate) {
+      // Combine locally, then ship one record per distinct key.
+      std::unordered_map<std::uint64_t, std::uint64_t> local;
+      for (const data::Tuple& t : input.shard(src).tuples()) ++local[t.key];
+      for (const auto& [key, count] : local) {
+        const std::size_t d = dest[data::partition_of(key, partitions)];
+        partial[d][key] += count;
+        if (d != src) result.flows.add(src, d, record_bytes);
+      }
+    } else {
+      for (const data::Tuple& t : input.shard(src).tuples()) {
+        const std::size_t d = dest[data::partition_of(t.key, partitions)];
+        ++partial[d][t.key];
+        if (d != src) result.flows.add(src, d, t.payload_bytes);
+      }
+    }
+  }
+
+  for (std::size_t node = 0; node < n; ++node) {
+    result.groups_per_node[node] = partial[node].size();
+    for (const auto& [key, count] : partial[node]) {
+      result.group_counts[key] += count;
+    }
+  }
+  return result;
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> reference_group_counts(
+    const data::DistributedRelation& input) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (std::size_t node = 0; node < input.node_count(); ++node) {
+    for (const data::Tuple& t : input.shard(node).tuples()) ++counts[t.key];
+  }
+  return counts;
+}
+
+DistinctResult execute_distributed_distinct(
+    const data::DistributedRelation& input, std::size_t partitions,
+    std::span<const std::uint32_t> dest, bool local_dedup,
+    std::uint32_t record_bytes) {
+  validate(input, partitions, dest);
+  const std::size_t n = input.node_count();
+  DistinctResult result(n);
+
+  std::vector<std::unordered_set<std::uint64_t>> at_dest(n);
+  std::unordered_set<std::uint64_t> local;
+  for (std::size_t src = 0; src < n; ++src) {
+    local.clear();
+    for (const data::Tuple& t : input.shard(src).tuples()) {
+      if (local_dedup && !local.insert(t.key).second) continue;  // shipped once
+      const std::size_t d = dest[data::partition_of(t.key, partitions)];
+      at_dest[d].insert(t.key);
+      if (d != src) {
+        result.flows.add(src, d,
+                         local_dedup ? record_bytes : t.payload_bytes);
+      }
+    }
+  }
+  for (const auto& keys : at_dest) result.distinct_keys += keys.size();
+  return result;
+}
+
+std::uint64_t reference_distinct_count(const data::DistributedRelation& input) {
+  std::unordered_set<std::uint64_t> keys;
+  for (std::size_t node = 0; node < input.node_count(); ++node) {
+    for (const data::Tuple& t : input.shard(node).tuples()) keys.insert(t.key);
+  }
+  return keys.size();
+}
+
+}  // namespace ccf::join

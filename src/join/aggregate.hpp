@@ -1,0 +1,74 @@
+// Distributed aggregation and duplicate elimination (paper §I: "the proposed
+// techniques can be similarly applied to other distributed operators, such
+// as aggregation and duplicate elimination").
+//
+// Both operators need all tuples with equal keys co-located, i.e. the exact
+// redistribution problem of the join — so the same chunk matrices, the same
+// placement schedulers, and the same coflow execution apply verbatim. The
+// operator-specific twist is the *combiner* (pre-aggregation): a node can
+// collapse its local tuples to one record per distinct key before shuffling,
+// which shrinks the chunk matrix and thus changes what the co-optimizer sees.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/chunk_matrix.hpp"
+#include "data/relation.hpp"
+#include "net/flow.hpp"
+
+namespace ccf::join {
+
+/// Chunk matrix for a group-by/distinct over `input`.
+/// Without pre-aggregation, h(k,i) counts every tuple's payload (as in a
+/// join shuffle). With pre-aggregation, each distinct key on a node becomes
+/// one `record_bytes`-sized combiner record — usually a big reduction.
+data::ChunkMatrix aggregation_chunk_matrix(const data::DistributedRelation& input,
+                                           std::size_t partitions,
+                                           bool pre_aggregate,
+                                           std::uint32_t record_bytes);
+
+/// Result of a tuple-level distributed COUNT group-by.
+struct AggregationResult {
+  /// Global key -> tuple count (merged across nodes for verification).
+  std::unordered_map<std::uint64_t, std::uint64_t> group_counts;
+  std::vector<std::size_t> groups_per_node;  ///< groups finalized per node
+  net::FlowMatrix flows;                     ///< measured shuffle bytes
+
+  explicit AggregationResult(std::size_t nodes)
+      : groups_per_node(nodes, 0), flows(nodes) {}
+};
+
+/// Execute SELECT key, COUNT(*) GROUP BY key under the given placement.
+/// With `pre_aggregate`, nodes ship one combiner record per distinct local
+/// key (record_bytes on the wire) instead of raw tuples.
+AggregationResult execute_distributed_aggregation(
+    const data::DistributedRelation& input, std::size_t partitions,
+    std::span<const std::uint32_t> dest, bool pre_aggregate,
+    std::uint32_t record_bytes);
+
+/// Reference: group counts computed centrally.
+std::unordered_map<std::uint64_t, std::uint64_t> reference_group_counts(
+    const data::DistributedRelation& input);
+
+/// Result of a tuple-level distributed DISTINCT.
+struct DistinctResult {
+  std::uint64_t distinct_keys = 0;
+  net::FlowMatrix flows;
+
+  explicit DistinctResult(std::size_t nodes) : flows(nodes) {}
+};
+
+/// Execute SELECT DISTINCT key under the given placement. `local_dedup`
+/// plays the combiner role: each node ships each distinct key once.
+DistinctResult execute_distributed_distinct(
+    const data::DistributedRelation& input, std::size_t partitions,
+    std::span<const std::uint32_t> dest, bool local_dedup,
+    std::uint32_t record_bytes);
+
+/// Reference: distinct-key count computed centrally.
+std::uint64_t reference_distinct_count(const data::DistributedRelation& input);
+
+}  // namespace ccf::join

@@ -1,0 +1,32 @@
+// Capacity-aware CCF placement (extension; the paper's model (1)/(2) already
+// carries per-link capacities R_l before specializing to uniform ports, and
+// its future work targets robustness "in the presence of ... different
+// network configurations").
+//
+// Algorithm 1 measures load in bytes, which implicitly assumes homogeneous
+// ports. On a fabric with stragglers (a node with a slow NIC, a degraded
+// link) the byte-bottleneck and the *time* bottleneck diverge. This variant
+// runs the identical greedy but scores candidates in seconds — every load
+// divided by its port's capacity — so slow ports attract proportionally
+// less traffic.
+#pragma once
+
+#include "join/schedulers.hpp"
+#include "net/fabric.hpp"
+
+namespace ccf::join {
+
+class HeteroCcfScheduler final : public PartitionScheduler {
+ public:
+  /// The fabric is captured by reference; keep it alive while scheduling.
+  explicit HeteroCcfScheduler(const net::Fabric& fabric) : fabric_(&fabric) {}
+
+  std::string name() const override { return "ccf-hetero"; }
+
+  Assignment schedule(const AssignmentProblem& problem) override;
+
+ private:
+  const net::Fabric* fabric_;
+};
+
+}  // namespace ccf::join

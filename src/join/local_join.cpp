@@ -1,0 +1,38 @@
+#include "join/local_join.hpp"
+
+namespace ccf::join {
+
+void HashTable::insert_all(std::span<const data::Tuple> tuples) {
+  for (const data::Tuple& t : tuples) insert(t.key);
+}
+
+std::uint64_t HashTable::probe(std::uint64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t hash_join_count(std::span<const data::Tuple> build,
+                              std::span<const data::Tuple> probe) {
+  HashTable table;
+  table.insert_all(build);
+  std::uint64_t result = 0;
+  for (const data::Tuple& t : probe) result += table.probe(t.key);
+  return result;
+}
+
+std::uint64_t reference_join_cardinality(const data::DistributedRelation& build,
+                                         const data::DistributedRelation& probe) {
+  HashTable table;
+  for (std::size_t node = 0; node < build.node_count(); ++node) {
+    table.insert_all(build.shard(node).tuples());
+  }
+  std::uint64_t result = 0;
+  for (std::size_t node = 0; node < probe.node_count(); ++node) {
+    for (const data::Tuple& t : probe.shard(node).tuples()) {
+      result += table.probe(t.key);
+    }
+  }
+  return result;
+}
+
+}  // namespace ccf::join

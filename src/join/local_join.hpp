@@ -1,0 +1,37 @@
+// The local join phase (paper §II-A): once all tuples with the same key are
+// co-located, each node joins its fragments independently with no further
+// network traffic. We implement a classic build/probe hash join over key
+// counts — enough to produce exact join cardinalities for verification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "data/relation.hpp"
+
+namespace ccf::join {
+
+/// Multiset of build-side keys, ready to probe.
+class HashTable {
+ public:
+  void insert(std::uint64_t key) { ++counts_[key]; }
+  void insert_all(std::span<const data::Tuple> tuples);
+  /// Number of build tuples with this key.
+  std::uint64_t probe(std::uint64_t key) const;
+  std::size_t distinct_keys() const noexcept { return counts_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+/// |build ⋈ probe| on the key attribute.
+std::uint64_t hash_join_count(std::span<const data::Tuple> build,
+                              std::span<const data::Tuple> probe);
+
+/// Exact cardinality of the full distributed join computed centrally —
+/// the ground truth the distributed executor must reproduce.
+std::uint64_t reference_join_cardinality(const data::DistributedRelation& build,
+                                         const data::DistributedRelation& probe);
+
+}  // namespace ccf::join

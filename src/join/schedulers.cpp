@@ -1,0 +1,143 @@
+#include "join/schedulers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "opt/local_search.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::join {
+
+Assignment HashScheduler::schedule(const AssignmentProblem& problem) {
+  problem.validate();
+  const std::size_t n = problem.nodes();
+  Assignment dest(problem.partitions());
+  for (std::size_t k = 0; k < dest.size(); ++k) {
+    dest[k] = static_cast<std::uint32_t>(k % n);
+  }
+  return dest;
+}
+
+Assignment MiniScheduler::schedule(const AssignmentProblem& problem) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+  Assignment dest(m.partitions());
+  for (std::size_t k = 0; k < dest.size(); ++k) {
+    dest[k] = static_cast<std::uint32_t>(m.partition_argmax(k));
+  }
+  return dest;
+}
+
+Assignment CcfScheduler::schedule(const AssignmentProblem& problem) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+  const std::size_t p = m.partitions();
+
+  // Algorithm 1 line 1: partitions in descending max-chunk order.
+  std::vector<std::uint32_t> order(p);
+  for (std::size_t k = 0; k < p; ++k) order[k] = static_cast<std::uint32_t>(k);
+  std::stable_sort(order.begin(), order.end(),
+                   [&m](std::uint32_t a, std::uint32_t b) {
+                     return m.partition_max(a) > m.partition_max(b);
+                   });
+
+  std::vector<double> egress(n), ingress(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    egress[i] = problem.initial_egress_at(i);
+    ingress[i] = problem.initial_ingress_at(i);
+  }
+
+  Assignment dest(p, 0);
+  for (const std::uint32_t k : order) {
+    const double sk = m.partition_total(k);
+
+    // Lines 4-8, done in O(n) total instead of O(n^2): for candidate d only
+    // two quantities differ from the global maxima — node d's egress stays
+    // put and node d's ingress gains (S_k - h_{dk}) — so the top-2 of
+    // (egress[i] + h_{ik}) and of ingress[] decide every candidate in O(1).
+    double eg_max = -1.0, eg_second = -1.0;
+    std::size_t eg_arg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = egress[i] + m.h(k, i);
+      if (v > eg_max) {
+        eg_second = eg_max;
+        eg_max = v;
+        eg_arg = i;
+      } else if (v > eg_second) {
+        eg_second = v;
+      }
+    }
+    double in_max = -1.0, in_second = -1.0;
+    std::size_t in_arg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ingress[i] > in_max) {
+        in_second = in_max;
+        in_max = ingress[i];
+        in_arg = i;
+      } else if (ingress[i] > in_second) {
+        in_second = ingress[i];
+      }
+    }
+
+    double best_t = 0.0;
+    std::uint32_t best_d = 0;
+    bool first = true;
+    for (std::uint32_t d = 0; d < n; ++d) {
+      const double egress_part =
+          std::max(d == eg_arg ? eg_second : eg_max, egress[d]);
+      const double ingress_part =
+          std::max(d == in_arg ? in_second : in_max,
+                   ingress[d] + (sk - m.h(k, d)));
+      const double t = std::max(egress_part, ingress_part);
+      if (first || t < best_t) {
+        best_t = t;
+        best_d = d;
+        first = false;
+      }
+    }
+
+    // Line 9: commit the best destination and update the loads.
+    dest[k] = best_d;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != best_d) egress[i] += m.h(k, i);
+    }
+    ingress[best_d] += sk - m.h(k, best_d);
+  }
+  return dest;
+}
+
+Assignment CcfLsScheduler::schedule(const AssignmentProblem& problem) {
+  Assignment dest = CcfScheduler().schedule(problem);
+  opt::refine(problem, dest);
+  return dest;
+}
+
+Assignment ExactScheduler::schedule(const AssignmentProblem& problem) {
+  const opt::BnbResult r = opt::solve_exact(problem, options_);
+  last_optimal_ = r.optimal;
+  return r.dest;
+}
+
+Assignment RandomScheduler::schedule(const AssignmentProblem& problem) {
+  problem.validate();
+  util::Pcg32 rng(util::derive_seed(seed_, 3), 3);
+  Assignment dest(problem.partitions());
+  for (std::uint32_t& d : dest) {
+    d = rng.bounded(static_cast<std::uint32_t>(problem.nodes()));
+  }
+  return dest;
+}
+
+std::unique_ptr<PartitionScheduler> make_scheduler(const std::string& name) {
+  if (name == "hash") return std::make_unique<HashScheduler>();
+  if (name == "mini") return std::make_unique<MiniScheduler>();
+  if (name == "ccf") return std::make_unique<CcfScheduler>();
+  if (name == "ccf-ls") return std::make_unique<CcfLsScheduler>();
+  if (name == "exact") return std::make_unique<ExactScheduler>();
+  if (name == "random") return std::make_unique<RandomScheduler>();
+  throw std::invalid_argument("make_scheduler: unknown scheduler: " + name);
+}
+
+}  // namespace ccf::join

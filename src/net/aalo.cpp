@@ -1,0 +1,69 @@
+// Aalo-style D-CLAS (Chowdhury & Stoica, SIGCOMM'15), approximated:
+// non-clairvoyant priority — a coflow's queue is determined by how many bytes
+// it has *already sent* (first threshold 10 MB, exponentially spaced x10).
+// Lower queues preempt higher ones; FIFO within a queue; inside a coflow we
+// use max-min sharing over the residual capacities (Aalo does per-flow fair
+// scheduling within a coflow as it lacks volume knowledge). Documented as an
+// approximation in DESIGN.md.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+constexpr double kFirstQueueThreshold = 10e6;  // 10 MB
+constexpr double kQueueMultiplier = 10.0;
+
+int queue_of(double bytes_sent) {
+  if (bytes_sent < kFirstQueueThreshold) return 0;
+  return 1 + static_cast<int>(std::floor(
+                 std::log(bytes_sent / kFirstQueueThreshold) /
+                 std::log(kQueueMultiplier)));
+}
+
+class AaloAllocator final : public RateAllocator {
+ public:
+  std::string name() const override { return "aalo"; }
+
+  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
+                const Network& network, double) override {
+    std::vector<std::uint32_t> order;
+    order.reserve(coflows.size());
+    for (const CoflowState& c : coflows) {
+      if (c.started && !c.completed) order.push_back(c.id);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const int qa = queue_of(coflows[a].bytes_sent);
+      const int qb = queue_of(coflows[b].bytes_sent);
+      if (qa != qb) return qa < qb;
+      if (coflows[a].arrival != coflows[b].arrival) {
+        return coflows[a].arrival < coflows[b].arrival;
+      }
+      return a < b;
+    });
+
+    std::vector<double> residual = detail::link_residuals(network);
+    std::vector<std::vector<Flow*>> by_coflow(coflows.size());
+    for (Flow& f : active) {
+      f.rate = 0.0;
+      by_coflow[f.coflow].push_back(&f);
+    }
+    for (const std::uint32_t cid : order) {
+      if (by_coflow[cid].empty()) continue;
+      detail::maxmin_fill(by_coflow[cid], network, residual);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RateAllocator> make_aalo_allocator();
+std::unique_ptr<RateAllocator> make_aalo_allocator() {
+  return std::make_unique<AaloAllocator>();
+}
+
+}  // namespace ccf::net

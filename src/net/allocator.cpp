@@ -1,0 +1,193 @@
+#include "net/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ccf::net {
+
+namespace detail {
+
+std::vector<double> link_residuals(const Network& network) {
+  std::vector<double> residual(network.link_count());
+  for (std::size_t l = 0; l < residual.size(); ++l) {
+    residual[l] = network.link_capacity(static_cast<Network::LinkId>(l));
+  }
+  return residual;
+}
+
+void maxmin_fill(std::span<Flow*> flows, const Network& network,
+                 std::span<double> residual) {
+  // Materialize each flow's link set once.
+  std::vector<std::uint32_t> link_index;   // concatenated link ids
+  std::vector<std::uint32_t> link_offset;  // per-flow start into link_index
+  link_offset.reserve(flows.size() + 1);
+  link_offset.push_back(0);
+  std::vector<Network::LinkId> scratch;
+  std::vector<std::size_t> count(residual.size(), 0);
+  for (Flow* f : flows) {
+    f->rate = 0.0;
+    scratch.clear();
+    network.append_links(f->src, f->dst, scratch);
+    for (const auto l : scratch) {
+      link_index.push_back(l);
+      ++count[l];
+    }
+    link_offset.push_back(static_cast<std::uint32_t>(link_index.size()));
+  }
+
+  std::vector<bool> frozen(flows.size(), false);
+  std::size_t remaining = flows.size();
+  while (remaining > 0) {
+    // Bottleneck link: smallest fair share among links in use.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = residual.size();
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      if (count[l] == 0) continue;
+      const double share =
+          std::max(residual[l], 0.0) / static_cast<double>(count[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == residual.size()) break;  // defensive
+    // Freeze every unfrozen flow crossing the bottleneck link at the share.
+    for (std::size_t idx = 0; idx < flows.size(); ++idx) {
+      if (frozen[idx]) continue;
+      bool crosses = false;
+      for (std::uint32_t o = link_offset[idx]; o < link_offset[idx + 1]; ++o) {
+        if (link_index[o] == best_link) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) continue;
+      flows[idx]->rate = best_share;
+      frozen[idx] = true;
+      --remaining;
+      for (std::uint32_t o = link_offset[idx]; o < link_offset[idx + 1]; ++o) {
+        residual[link_index[o]] -= best_share;
+        --count[link_index[o]];
+      }
+    }
+  }
+}
+
+void madd_sequential(std::span<Flow> active,
+                     std::span<const std::uint32_t> order,
+                     const Network& network, std::span<double> residual) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Bucket active flow indices per coflow; only flows of coflows named in
+  // `order` are touched (their rates reset), so callers can compose this
+  // with pre-allocated guarantees for other coflows.
+  std::uint32_t max_id = 0;
+  for (const Flow& f : active) max_id = std::max(max_id, f.coflow);
+  std::vector<bool> in_order(max_id + 1, false);
+  for (const std::uint32_t cid : order) {
+    if (cid <= max_id) in_order[cid] = true;
+  }
+  std::vector<std::vector<std::size_t>> by_coflow(max_id + 1);
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    if (!in_order[active[idx].coflow]) continue;
+    active[idx].rate = 0.0;
+    by_coflow[active[idx].coflow].push_back(idx);
+  }
+
+  std::vector<double> load(residual.size());
+  std::vector<Network::LinkId> scratch;
+  for (const std::uint32_t cid : order) {
+    if (cid >= by_coflow.size() || by_coflow[cid].empty()) continue;
+    const auto& members = by_coflow[cid];
+    std::fill(load.begin(), load.end(), 0.0);
+    for (const std::size_t idx : members) {
+      scratch.clear();
+      network.append_links(active[idx].src, active[idx].dst, scratch);
+      for (const auto l : scratch) load[l] += active[idx].remaining;
+    }
+    // Γ against *residual* capacities; an exhausted link starves the coflow
+    // for this epoch (backfilling semantics).
+    double gamma = 0.0;
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      if (load[l] <= 0.0) continue;
+      if (residual[l] > 1e-12) {
+        gamma = std::max(gamma, load[l] / residual[l]);
+      } else {
+        gamma = kInf;
+        break;
+      }
+    }
+    if (gamma <= 0.0 || gamma == kInf) continue;  // nothing to send or starved
+    for (const std::size_t idx : members) {
+      const double rate = active[idx].remaining / gamma;
+      active[idx].rate = rate;
+      scratch.clear();
+      network.append_links(active[idx].src, active[idx].dst, scratch);
+      for (const auto l : scratch) residual[l] -= rate;
+    }
+    // Clamp tiny negative residuals from floating-point accumulation.
+    for (double& r : residual) r = std::max(r, 0.0);
+  }
+}
+
+std::vector<double> coflow_bottlenecks(std::span<const Flow> active,
+                                       std::size_t coflow_count,
+                                       const Network& network) {
+  std::vector<double> load(coflow_count * network.link_count(), 0.0);
+  std::vector<Network::LinkId> scratch;
+  for (const Flow& f : active) {
+    scratch.clear();
+    network.append_links(f.src, f.dst, scratch);
+    for (const auto l : scratch) {
+      load[f.coflow * network.link_count() + l] += f.remaining;
+    }
+  }
+  std::vector<double> bottleneck(coflow_count, 0.0);
+  for (std::size_t c = 0; c < coflow_count; ++c) {
+    double g = 0.0;
+    for (std::size_t l = 0; l < network.link_count(); ++l) {
+      const double v = load[c * network.link_count() + l];
+      if (v > 0.0) {
+        g = std::max(
+            g, v / network.link_capacity(static_cast<Network::LinkId>(l)));
+      }
+    }
+    bottleneck[c] = g;
+  }
+  return bottleneck;
+}
+
+}  // namespace detail
+
+// One factory per policy translation unit.
+std::unique_ptr<RateAllocator> make_fair_sharing_allocator();
+std::unique_ptr<RateAllocator> make_madd_allocator();
+std::unique_ptr<RateAllocator> make_varys_allocator();
+std::unique_ptr<RateAllocator> make_aalo_allocator();
+std::unique_ptr<RateAllocator> make_varys_deadline_allocator();
+
+std::unique_ptr<RateAllocator> make_allocator(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kFairSharing: return make_fair_sharing_allocator();
+    case AllocatorKind::kMadd: return make_madd_allocator();
+    case AllocatorKind::kVarys: return make_varys_allocator();
+    case AllocatorKind::kAalo: return make_aalo_allocator();
+    case AllocatorKind::kVarysDeadline: return make_varys_deadline_allocator();
+  }
+  throw std::invalid_argument("make_allocator: invalid kind");
+}
+
+std::unique_ptr<RateAllocator> make_allocator(const std::string& name) {
+  if (name == "fair") return make_allocator(AllocatorKind::kFairSharing);
+  if (name == "madd") return make_allocator(AllocatorKind::kMadd);
+  if (name == "varys") return make_allocator(AllocatorKind::kVarys);
+  if (name == "aalo") return make_allocator(AllocatorKind::kAalo);
+  if (name == "varys-edf") {
+    return make_allocator(AllocatorKind::kVarysDeadline);
+  }
+  throw std::invalid_argument("make_allocator: unknown allocator: " + name);
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,92 @@
+// Rate allocation policies ("coflow schedulers").
+//
+// Between simulator events, an allocator assigns each active flow a rate
+// subject to link capacities (the paper's constraint (1.5): the rates through
+// every link of L_ij must fit its capacity). Four policies are provided:
+//
+//  * FairSharing — per-flow max-min fairness, coflow-agnostic. Models
+//    uncoordinated TCP-like sharing; the "worst schedule" of Fig. 2(a).
+//  * Madd — FIFO across coflows; within a coflow, MADD (Minimum Allocation
+//    for Desired Duration): every flow gets volume/Γ so the whole coflow
+//    finishes exactly at its bottleneck bound. For a single coflow this is
+//    the provably optimal schedule — the paper applies it to Hash, Mini and
+//    CCF alike (§IV-A). Leftover bandwidth backfills later coflows.
+//  * Varys — SEBF+MADD (Chowdhury et al., SIGCOMM'14): coflows ordered by
+//    smallest effective bottleneck first, MADD within, backfilling.
+//  * Aalo — D-CLAS approximation (Chowdhury & Stoica, SIGCOMM'15): coflows
+//    prioritized by how many bytes they have already sent (10 MB starting
+//    queue, 10x exponent), FIFO within a queue, per-coflow max-min inside.
+//
+// All policies operate on the generic Network link model, so they work
+// unchanged on the flat Fabric and on rack topologies (rack.hpp).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/coflow.hpp"
+#include "net/network.hpp"
+#include "net/flow.hpp"
+
+namespace ccf::net {
+
+/// Strategy interface: write `rate` into every active flow.
+class RateAllocator {
+ public:
+  virtual ~RateAllocator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Assign rates. `active` holds only flows of started, uncompleted coflows
+  /// with remaining volume; `coflows` is indexed by Flow::coflow. `now` is
+  /// the current simulation time (deadline-aware policies need it).
+  /// Policies with admission control may set CoflowState::admitted/rejected;
+  /// the engine removes a rejected coflow's flows after the call.
+  virtual void allocate(std::span<Flow> active,
+                        std::span<CoflowState> coflows,
+                        const Network& network, double now) = 0;
+};
+
+/// Available allocator policies. kVarysDeadline is Varys's second operating
+/// mode: earliest-deadline-first with admission control — a coflow whose
+/// deadline cannot be met given already-admitted guarantees is rejected at
+/// arrival; admitted coflows get the minimum rates that finish them exactly
+/// on time, and deadline-free coflows share the leftovers SEBF-style.
+enum class AllocatorKind { kFairSharing, kMadd, kVarys, kAalo, kVarysDeadline };
+
+std::unique_ptr<RateAllocator> make_allocator(AllocatorKind kind);
+/// By name: "fair", "madd", "varys", "aalo", "varys-edf". Throws on unknown
+/// names.
+std::unique_ptr<RateAllocator> make_allocator(const std::string& name);
+
+namespace detail {
+
+/// All link capacities of a network, indexed by LinkId (a fresh residual
+/// vector for one allocation epoch).
+std::vector<double> link_residuals(const Network& network);
+
+/// Max-min water-filling of `flows` against residual link capacities
+/// (consumed in place). Shared by FairSharing (one global group) and Aalo
+/// (per-coflow groups).
+void maxmin_fill(std::span<Flow*> flows, const Network& network,
+                 std::span<double> residual);
+
+/// Sequential MADD: for each coflow id in `order`, allocate MADD rates
+/// against the residual capacities, then subtract them (backfilling).
+/// Shared by Madd (FIFO order) and Varys (SEBF order).
+void madd_sequential(std::span<Flow> active,
+                     std::span<const std::uint32_t> order,
+                     const Network& network, std::span<double> residual);
+
+/// Effective bottleneck of each coflow on pristine capacities: for every
+/// started coflow, Γ_c = max over links of (remaining load on link / cap).
+/// Returns a vector indexed by coflow id (0 for absent coflows).
+std::vector<double> coflow_bottlenecks(std::span<const Flow> active,
+                                       std::size_t coflow_count,
+                                       const Network& network);
+
+}  // namespace detail
+
+}  // namespace ccf::net

@@ -1,0 +1,56 @@
+// The coflow abstraction (Chowdhury & Stoica, HotNets'12; paper §II-B):
+// a group of parallel flows sharing a performance goal. The metric of
+// interest is the coflow completion time (CCT) — the finish time of the
+// slowest flow.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "net/flow.hpp"
+
+namespace ccf::net {
+
+/// One coflow submitted to the simulator.
+struct CoflowSpec {
+  std::string name = "coflow";
+  double arrival = 0.0;  ///< seconds; flows become ready at arrival (+offset)
+  FlowMatrix flows;      ///< aggregate volumes; diagonal entries are ignored
+  /// Optional per-flow start offsets relative to `arrival` (same shape as
+  /// `flows`; entries for zero-volume pairs are ignored). Models the paper's
+  /// §II-B "online coflows, e.g. each individual flow starts at a different
+  /// time point". Empty = all flows start at `arrival`.
+  std::optional<FlowMatrix> start_offsets;
+  /// Completion deadline in seconds after `arrival`; 0 = none. Only the
+  /// deadline-aware allocator ("varys-edf") acts on it: an infeasible coflow
+  /// is rejected at arrival (Varys's admission control), an admitted one is
+  /// guaranteed to finish by the deadline.
+  double deadline = 0.0;
+
+  CoflowSpec(std::string coflow_name, double arrival_time, FlowMatrix matrix)
+      : name(std::move(coflow_name)),
+        arrival(arrival_time),
+        flows(std::move(matrix)) {}
+  explicit CoflowSpec(FlowMatrix matrix) : flows(std::move(matrix)) {}
+};
+
+/// Mutable per-coflow bookkeeping shared between the simulator and the
+/// allocators. Allocators may flip `admitted`/`rejected` (admission
+/// control); everything else is engine-owned.
+struct CoflowState {
+  std::uint32_t id = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;         ///< absolute deadline; 0 = none
+  double bytes_total = 0.0;      ///< sum of all flow volumes
+  double bytes_sent = 0.0;       ///< progress so far (drives Aalo's queues)
+  std::size_t flows_total = 0;
+  std::size_t flows_active = 0;  ///< flows not yet completed
+  bool started = false;          ///< arrival reached
+  bool completed = false;
+  bool admitted = false;         ///< deadline admission granted (varys-edf)
+  bool rejected = false;         ///< deadline admission denied (varys-edf)
+  double completion = 0.0;       ///< valid when completed
+};
+
+}  // namespace ccf::net

@@ -1,0 +1,52 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccf::net {
+
+Fabric::Fabric(std::size_t nodes, double port_rate)
+    : egress_(nodes, port_rate), ingress_(nodes, port_rate) {
+  if (nodes == 0) throw std::invalid_argument("Fabric: nodes must be >= 1");
+  if (port_rate <= 0.0) throw std::invalid_argument("Fabric: port rate must be > 0");
+}
+
+Fabric::Fabric(std::vector<double> egress_caps, std::vector<double> ingress_caps)
+    : egress_(std::move(egress_caps)), ingress_(std::move(ingress_caps)) {
+  if (egress_.empty() || egress_.size() != ingress_.size()) {
+    throw std::invalid_argument("Fabric: capacity vectors empty or mismatched");
+  }
+  for (const double c : egress_) {
+    if (c <= 0.0) throw std::invalid_argument("Fabric: capacities must be > 0");
+  }
+  for (const double c : ingress_) {
+    if (c <= 0.0) throw std::invalid_argument("Fabric: capacities must be > 0");
+  }
+}
+
+bool Fabric::homogeneous() const noexcept {
+  const double c = egress_.front();
+  auto same = [c](double x) { return x == c; };
+  return std::all_of(egress_.begin(), egress_.end(), same) &&
+         std::all_of(ingress_.begin(), ingress_.end(), same);
+}
+
+double Fabric::min_capacity() const noexcept {
+  return std::min(*std::min_element(egress_.begin(), egress_.end()),
+                  *std::min_element(ingress_.begin(), ingress_.end()));
+}
+
+double Fabric::link_capacity(LinkId link) const {
+  const std::size_t n = nodes();
+  if (link < n) return egress_[link];
+  if (link < 2 * n) return ingress_[link - n];
+  throw std::out_of_range("Fabric: link id out of range");
+}
+
+void Fabric::append_links(std::uint32_t src, std::uint32_t dst,
+                          std::vector<LinkId>& out) const {
+  out.push_back(src);
+  out.push_back(static_cast<LinkId>(nodes() + dst));
+}
+
+}  // namespace ccf::net

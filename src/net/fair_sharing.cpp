@@ -1,0 +1,36 @@
+// Per-flow max-min fair sharing — the coflow-agnostic baseline ("when
+// computing nodes use the network without any coordination", §I). Every
+// active flow competes individually; no flow is ever idle while its links
+// have spare capacity, yet the coflow's slowest flow can finish much later
+// than Γ (Fig. 2(a) vs 2(b)).
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+class FairSharingAllocator final : public RateAllocator {
+ public:
+  std::string name() const override { return "fair"; }
+
+  void allocate(std::span<Flow> active, std::span<CoflowState>,
+                const Network& network, double) override {
+    std::vector<double> residual = detail::link_residuals(network);
+    std::vector<Flow*> ptrs;
+    ptrs.reserve(active.size());
+    for (Flow& f : active) ptrs.push_back(&f);
+    detail::maxmin_fill(ptrs, network, residual);
+  }
+};
+
+}  // namespace
+
+// Defined here (not allocator.cpp) so each policy lives in its own TU.
+std::unique_ptr<RateAllocator> make_fair_sharing_allocator();
+std::unique_ptr<RateAllocator> make_fair_sharing_allocator() {
+  return std::make_unique<FairSharingAllocator>();
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,67 @@
+#include "net/flow.hpp"
+
+#include <stdexcept>
+
+namespace ccf::net {
+
+FlowMatrix::FlowMatrix(std::size_t nodes)
+    : nodes_(nodes), data_(nodes * nodes, 0.0) {
+  if (nodes == 0) throw std::invalid_argument("FlowMatrix: nodes must be >= 1");
+}
+
+double FlowMatrix::traffic() const noexcept {
+  double t = 0.0;
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    for (std::size_t j = 0; j < nodes_; ++j) {
+      if (i != j) t += volume(i, j);
+    }
+  }
+  return t;
+}
+
+double FlowMatrix::egress(std::size_t src) const noexcept {
+  double t = 0.0;
+  for (std::size_t j = 0; j < nodes_; ++j) {
+    if (j != src) t += volume(src, j);
+  }
+  return t;
+}
+
+double FlowMatrix::ingress(std::size_t dst) const noexcept {
+  double t = 0.0;
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    if (i != dst) t += volume(i, dst);
+  }
+  return t;
+}
+
+std::size_t FlowMatrix::flow_count(double min_volume) const noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    for (std::size_t j = 0; j < nodes_; ++j) {
+      if (i != j && volume(i, j) > min_volume) ++c;
+    }
+  }
+  return c;
+}
+
+std::vector<Flow> FlowMatrix::to_flows(double min_volume) const {
+  std::vector<Flow> flows;
+  flows.reserve(flow_count(min_volume));
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    for (std::size_t j = 0; j < nodes_; ++j) {
+      if (i == j) continue;
+      const double v = volume(i, j);
+      if (v > min_volume) {
+        Flow f;
+        f.src = static_cast<std::uint32_t>(i);
+        f.dst = static_cast<std::uint32_t>(j);
+        f.volume = f.remaining = v;
+        flows.push_back(f);
+      }
+    }
+  }
+  return flows;
+}
+
+}  // namespace ccf::net

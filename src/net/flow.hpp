@@ -1,0 +1,65 @@
+// Flows and flow matrices.
+//
+// A flow is the paper's 3-tuple [src, des, v] (§II-B). A FlowMatrix is the
+// n x n aggregate of all data movement of one operator: entry (i,j) is the
+// number of bytes node i must send to node j. Tuples that stay local occupy
+// the diagonal and consume no network resources; only off-diagonal entries
+// become simulated flows. Flows between the same (src,dst) pair are combined
+// into a single flow, exactly as the paper notes for plan SP2 in §II-B.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccf::net {
+
+/// One point-to-point transfer inside a coflow.
+struct Flow {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double volume = 0.0;     ///< original size in bytes
+  double remaining = 0.0;  ///< bytes still to transfer (simulation state)
+  std::uint32_t coflow = 0;  ///< owning coflow index inside the simulator
+  double rate = 0.0;       ///< bytes/s, written by the rate allocator
+  double start = 0.0;      ///< absolute activation time (simulation state)
+};
+
+/// Dense n x n matrix of transfer volumes in bytes.
+class FlowMatrix {
+ public:
+  explicit FlowMatrix(std::size_t nodes);
+
+  std::size_t nodes() const noexcept { return nodes_; }
+
+  double volume(std::size_t src, std::size_t dst) const noexcept {
+    return data_[src * nodes_ + dst];
+  }
+  void set(std::size_t src, std::size_t dst, double bytes) noexcept {
+    data_[src * nodes_ + dst] = bytes;
+  }
+  void add(std::size_t src, std::size_t dst, double bytes) noexcept {
+    data_[src * nodes_ + dst] += bytes;
+  }
+
+  /// Network traffic: sum of all off-diagonal volumes (local moves are free).
+  double traffic() const noexcept;
+  /// Bytes node `src` sends to remote nodes.
+  double egress(std::size_t src) const noexcept;
+  /// Bytes node `dst` receives from remote nodes.
+  double ingress(std::size_t dst) const noexcept;
+  /// Number of off-diagonal entries above `min_volume`.
+  std::size_t flow_count(double min_volume = 1e-6) const noexcept;
+
+  /// Materialize off-diagonal entries above `min_volume` as Flow records
+  /// (remaining = volume, coflow id filled in by the caller/simulator).
+  std::vector<Flow> to_flows(double min_volume = 1e-6) const;
+
+  friend bool operator==(const FlowMatrix&, const FlowMatrix&) = default;
+
+ private:
+  std::size_t nodes_;
+  std::vector<double> data_;
+};
+
+}  // namespace ccf::net

@@ -1,0 +1,75 @@
+#include "net/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/csv_reader.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+bool numeric_cell(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes) {
+  auto rows = util::read_csv_file(path);
+  if (!rows.empty() && !rows.front().empty() && !numeric_cell(rows.front()[0])) {
+    rows.erase(rows.begin());  // header
+  }
+  struct Entry {
+    std::size_t src, dst;
+    double bytes;
+  };
+  std::vector<Entry> entries;
+  std::size_t max_node = 0;
+  for (const auto& row : rows) {
+    if (row.size() < 3) {
+      throw std::invalid_argument(
+          "flow_matrix_from_csv: expected src,dst,bytes rows");
+    }
+    Entry e{};
+    e.src = static_cast<std::size_t>(std::stoull(row[0]));
+    e.dst = static_cast<std::size_t>(std::stoull(row[1]));
+    e.bytes = std::stod(row[2]);
+    if (e.src == e.dst) {
+      throw std::invalid_argument("flow_matrix_from_csv: src == dst row");
+    }
+    if (e.bytes < 0.0) {
+      throw std::invalid_argument("flow_matrix_from_csv: negative volume");
+    }
+    max_node = std::max({max_node, e.src, e.dst});
+    entries.push_back(e);
+  }
+  const std::size_t n = nodes == 0 ? max_node + 1 : nodes;
+  if (max_node >= n) {
+    throw std::invalid_argument("flow_matrix_from_csv: node id out of range");
+  }
+  FlowMatrix m(n);
+  for (const Entry& e : entries) m.add(e.src, e.dst, e.bytes);
+  return m;
+}
+
+void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path) {
+  util::CsvWriter out(path);
+  out.header({"src", "dst", "bytes"});
+  char buf[64];
+  for (std::size_t i = 0; i < flows.nodes(); ++i) {
+    for (std::size_t j = 0; j < flows.nodes(); ++j) {
+      if (i == j) continue;
+      const double v = flows.volume(i, j);
+      if (v <= 0.0) continue;
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      out.row({std::to_string(i), std::to_string(j), buf});
+    }
+  }
+}
+
+}  // namespace ccf::net

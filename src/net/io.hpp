@@ -1,0 +1,20 @@
+// Flow-matrix serialization: "src,dst,bytes" CSV (with an optional header
+// row), the interchange format of the ccf_sim tool. Diagonal entries are
+// rejected as they would silently carry no traffic.
+#pragma once
+
+#include <string>
+
+#include "net/flow.hpp"
+
+namespace ccf::net {
+
+/// Parse a flow list CSV into an n x n matrix. `nodes` == 0 infers the node
+/// count as max(src,dst)+1. Lines "src,dst,bytes"; a first row of
+/// non-numeric cells is treated as a header and skipped.
+FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes = 0);
+
+/// Write the off-diagonal entries as "src,dst,bytes" with a header row.
+void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path);
+
+}  // namespace ccf::net

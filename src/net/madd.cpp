@@ -1,0 +1,44 @@
+// FIFO + MADD: coflows served in arrival order; within a coflow every flow
+// gets rate remaining/Γ so all flows finish together at the bottleneck bound.
+// For a single coflow this is the optimal schedule of Fig. 2(b) and the
+// network layer the paper gives to all three placement schedulers (§IV-A).
+#include <algorithm>
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+class MaddAllocator final : public RateAllocator {
+ public:
+  std::string name() const override { return "madd"; }
+
+  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
+                const Network& network, double) override {
+    std::vector<double> residual = detail::link_residuals(network);
+    // FIFO: arrival order, coflow id as tiebreak.
+    std::vector<std::uint32_t> order;
+    order.reserve(coflows.size());
+    for (const CoflowState& c : coflows) {
+      if (c.started && !c.completed) order.push_back(c.id);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (coflows[a].arrival != coflows[b].arrival) {
+        return coflows[a].arrival < coflows[b].arrival;
+      }
+      return a < b;
+    });
+    detail::madd_sequential(active, order, network, residual);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RateAllocator> make_madd_allocator();
+std::unique_ptr<RateAllocator> make_madd_allocator() {
+  return std::make_unique<MaddAllocator>();
+}
+
+}  // namespace ccf::net

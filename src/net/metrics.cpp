@@ -1,0 +1,70 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccf::net {
+
+PortLoads port_loads(const FlowMatrix& flows) {
+  const std::size_t n = flows.nodes();
+  PortLoads loads;
+  loads.egress.assign(n, 0.0);
+  loads.ingress.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = flows.volume(i, j);
+      loads.egress[i] += v;
+      loads.ingress[j] += v;
+    }
+  }
+  loads.max_egress = *std::max_element(loads.egress.begin(), loads.egress.end());
+  loads.max_ingress =
+      *std::max_element(loads.ingress.begin(), loads.ingress.end());
+  return loads;
+}
+
+double gamma_bound(const PortLoads& loads, const Fabric& fabric) {
+  if (loads.egress.size() != fabric.nodes()) {
+    throw std::invalid_argument("gamma_bound: fabric size mismatch");
+  }
+  double g = 0.0;
+  for (std::size_t i = 0; i < fabric.nodes(); ++i) {
+    g = std::max(g, loads.egress[i] / fabric.egress_capacity(i));
+    g = std::max(g, loads.ingress[i] / fabric.ingress_capacity(i));
+  }
+  return g;
+}
+
+std::vector<double> link_loads(const FlowMatrix& flows, const Network& network) {
+  if (flows.nodes() != network.nodes()) {
+    throw std::invalid_argument("link_loads: network size mismatch");
+  }
+  std::vector<double> loads(network.link_count(), 0.0);
+  std::vector<Network::LinkId> scratch;
+  const std::size_t n = flows.nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = flows.volume(i, j);
+      if (v <= 0.0) continue;
+      scratch.clear();
+      network.append_links(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j), scratch);
+      for (const auto l : scratch) loads[l] += v;
+    }
+  }
+  return loads;
+}
+
+double gamma_bound(const FlowMatrix& flows, const Network& network) {
+  const std::vector<double> loads = link_loads(flows, network);
+  double g = 0.0;
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    g = std::max(g, loads[l] / network.link_capacity(
+                                   static_cast<Network::LinkId>(l)));
+  }
+  return g;
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,45 @@
+#include "net/rack.hpp"
+
+#include <stdexcept>
+
+namespace ccf::net {
+
+RackFabric::RackFabric(std::size_t racks, std::size_t hosts_per_rack,
+                       double host_rate, double oversubscription)
+    : racks_(racks),
+      hosts_per_rack_(hosts_per_rack),
+      host_rate_(host_rate),
+      uplink_rate_(static_cast<double>(hosts_per_rack) * host_rate /
+                   oversubscription),
+      oversubscription_(oversubscription) {
+  if (racks == 0 || hosts_per_rack == 0) {
+    throw std::invalid_argument("RackFabric: racks/hosts_per_rack must be >= 1");
+  }
+  if (host_rate <= 0.0) {
+    throw std::invalid_argument("RackFabric: host_rate must be > 0");
+  }
+  if (oversubscription < 1.0) {
+    throw std::invalid_argument("RackFabric: oversubscription must be >= 1");
+  }
+}
+
+double RackFabric::link_capacity(LinkId link) const {
+  const std::size_t n = nodes();
+  if (link < 2 * n) return host_rate_;
+  if (link < 2 * n + 2 * racks_) return uplink_rate_;
+  throw std::out_of_range("RackFabric: link id out of range");
+}
+
+void RackFabric::append_links(std::uint32_t src, std::uint32_t dst,
+                              std::vector<LinkId>& out) const {
+  out.push_back(egress_link(src));
+  const std::size_t rs = rack_of(src);
+  const std::size_t rd = rack_of(dst);
+  if (rs != rd) {
+    out.push_back(uplink_out_link(rs));
+    out.push_back(uplink_in_link(rd));
+  }
+  out.push_back(ingress_link(dst));
+}
+
+}  // namespace ccf::net

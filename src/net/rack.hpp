@@ -1,0 +1,76 @@
+// Two-tier (leaf-spine) rack topology — the "complex network conditions"
+// extension of §III-A / §V. Hosts sit in racks behind top-of-rack switches;
+// rack uplinks to the core can be oversubscribed, so a cross-rack flow
+// traverses four capacitated links:
+//
+//   L_ij = { egress_i, uplink_out(rack(i)), uplink_in(rack(j)), ingress_j }
+//
+// while an intra-rack flow traverses only the two host ports. With
+// oversubscription 1.0 and a single rack this degenerates to the flat
+// Fabric. The rack-aware CCF scheduler (join/rack_scheduler) optimizes the
+// generalized bottleneck over all of these links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/network.hpp"
+
+namespace ccf::net {
+
+/// Homogeneous leaf-spine topology.
+///
+/// Link layout: [0,n) host egress, [n,2n) host ingress,
+/// [2n,2n+r) rack uplink out (towards the core), [2n+r,2n+2r) rack uplink in.
+class RackFabric : public Network {
+ public:
+  /// `oversubscription` >= 1: each rack uplink direction has capacity
+  /// hosts_per_rack * host_rate / oversubscription. 1.0 = full bisection.
+  RackFabric(std::size_t racks, std::size_t hosts_per_rack,
+             double host_rate = Fabric::kDefaultPortRate,
+             double oversubscription = 1.0);
+
+  std::size_t racks() const noexcept { return racks_; }
+  std::size_t hosts_per_rack() const noexcept { return hosts_per_rack_; }
+  double host_rate() const noexcept { return host_rate_; }
+  double uplink_rate() const noexcept { return uplink_rate_; }
+  double oversubscription() const noexcept { return oversubscription_; }
+
+  /// Rack of a host: node / hosts_per_rack.
+  std::size_t rack_of(std::size_t node) const noexcept {
+    return node / hosts_per_rack_;
+  }
+
+  // Network interface.
+  std::size_t nodes() const noexcept override {
+    return racks_ * hosts_per_rack_;
+  }
+  std::size_t link_count() const noexcept override {
+    return 2 * nodes() + 2 * racks_;
+  }
+  double link_capacity(LinkId link) const override;
+  void append_links(std::uint32_t src, std::uint32_t dst,
+                    std::vector<LinkId>& out) const override;
+
+  /// Link ids for direct inspection.
+  LinkId egress_link(std::size_t node) const { return static_cast<LinkId>(node); }
+  LinkId ingress_link(std::size_t node) const {
+    return static_cast<LinkId>(nodes() + node);
+  }
+  LinkId uplink_out_link(std::size_t rack) const {
+    return static_cast<LinkId>(2 * nodes() + rack);
+  }
+  LinkId uplink_in_link(std::size_t rack) const {
+    return static_cast<LinkId>(2 * nodes() + racks_ + rack);
+  }
+
+ private:
+  std::size_t racks_;
+  std::size_t hosts_per_rack_;
+  double host_rate_;
+  double uplink_rate_;
+  double oversubscription_;
+};
+
+}  // namespace ccf::net

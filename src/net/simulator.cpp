@@ -1,0 +1,243 @@
+#include "net/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccf::net {
+
+double SimReport::average_cct() const noexcept {
+  if (coflows.empty()) return 0.0;
+  double s = 0.0;
+  for (const CoflowResult& c : coflows) s += c.cct();
+  return s / static_cast<double>(coflows.size());
+}
+
+double SimReport::cct_of(const std::string& name) const {
+  for (const CoflowResult& c : coflows) {
+    if (c.name == name) return c.cct();
+  }
+  throw std::out_of_range("SimReport: no coflow named " + name);
+}
+
+Simulator::Simulator(Fabric fabric, std::unique_ptr<RateAllocator> allocator,
+                     SimConfig config)
+    : Simulator(std::make_shared<const Fabric>(std::move(fabric)),
+                std::move(allocator), config) {}
+
+Simulator::Simulator(std::shared_ptr<const Network> network,
+                     std::unique_ptr<RateAllocator> allocator, SimConfig config)
+    : network_(std::move(network)),
+      allocator_(std::move(allocator)),
+      config_(config) {
+  if (!network_) throw std::invalid_argument("Simulator: null network");
+  if (!allocator_) throw std::invalid_argument("Simulator: null allocator");
+}
+
+void Simulator::add_coflow(CoflowSpec spec) {
+  if (ran_) throw std::logic_error("Simulator: add_coflow after run()");
+  if (spec.flows.nodes() != network_->nodes()) {
+    throw std::invalid_argument("Simulator: coflow size != fabric size");
+  }
+  if (spec.arrival < 0.0 || !std::isfinite(spec.arrival)) {
+    throw std::invalid_argument("Simulator: invalid arrival time");
+  }
+  if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
+    throw std::invalid_argument("Simulator: invalid deadline");
+  }
+  if (spec.start_offsets) {
+    if (spec.start_offsets->nodes() != spec.flows.nodes()) {
+      throw std::invalid_argument("Simulator: start_offsets shape mismatch");
+    }
+    for (std::size_t i = 0; i < spec.flows.nodes(); ++i) {
+      for (std::size_t j = 0; j < spec.flows.nodes(); ++j) {
+        const double off = spec.start_offsets->volume(i, j);
+        if (spec.flows.volume(i, j) > 0.0 &&
+            (off < 0.0 || !std::isfinite(off))) {
+          throw std::invalid_argument("Simulator: invalid flow start offset");
+        }
+      }
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+SimReport Simulator::run() {
+  if (ran_) throw std::logic_error("Simulator: run() called twice");
+  ran_ = true;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Flatten all coflows into one flow array; per-coflow state on the side.
+  std::vector<Flow> flows;
+  std::vector<CoflowState> states(specs_.size());
+  for (std::size_t c = 0; c < specs_.size(); ++c) {
+    CoflowState& st = states[c];
+    st.id = static_cast<std::uint32_t>(c);
+    st.arrival = specs_[c].arrival;
+    st.deadline =
+        specs_[c].deadline > 0.0 ? specs_[c].arrival + specs_[c].deadline : 0.0;
+    std::vector<Flow> fs = specs_[c].flows.to_flows(config_.completion_epsilon);
+    for (Flow& f : fs) {
+      f.coflow = st.id;
+      f.start = st.arrival;
+      if (specs_[c].start_offsets) {
+        f.start += specs_[c].start_offsets->volume(f.src, f.dst);
+      }
+      st.bytes_total += f.volume;
+    }
+    st.flows_total = st.flows_active = fs.size();
+    flows.insert(flows.end(), fs.begin(), fs.end());
+  }
+
+  // Sort flows by activation time so active ones form a prefix; completed
+  // flows are swapped past `active_end`.
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.coflow < b.coflow;
+  });
+
+  SimReport report;
+  report.coflows.resize(specs_.size());
+  for (std::size_t c = 0; c < specs_.size(); ++c) {
+    report.coflows[c].name = specs_[c].name;
+    report.coflows[c].arrival = specs_[c].arrival;
+    report.coflows[c].bytes = states[c].bytes_total;
+    report.coflows[c].flows = states[c].flows_total;
+    report.coflows[c].deadline = states[c].deadline;
+  }
+
+  double now = 0.0;
+  std::size_t next_unarrived = 0;  // flows[next_unarrived..) not yet arrived
+  std::size_t active_end = 0;      // flows[0..active_end) are active
+  std::size_t completed_total = 0;
+
+  auto activate_arrivals = [&] {
+    while (next_unarrived < flows.size() &&
+           flows[next_unarrived].start <= now) {
+      states[flows[next_unarrived].coflow].started = true;
+      if (next_unarrived != active_end) {
+        std::swap(flows[next_unarrived], flows[active_end]);
+      }
+      ++active_end;
+      ++next_unarrived;
+    }
+    // Mark zero-flow coflows whose arrival passed as started/completed.
+    for (CoflowState& st : states) {
+      if (!st.started && st.arrival <= now) st.started = true;
+      if (st.started && !st.completed && st.flows_active == 0) {
+        st.completed = true;
+        st.completion = std::max(now, st.arrival);
+        report.coflows[st.id].completion = st.completion;
+      }
+    }
+  };
+
+  activate_arrivals();
+
+  while (true) {
+    if (active_end == 0) {
+      // Nothing active: jump to the next arrival or finish.
+      if (next_unarrived >= flows.size()) break;
+      now = flows[next_unarrived].start;
+      activate_arrivals();
+      continue;
+    }
+    if (report.events >= config_.max_events) {
+      throw std::runtime_error("Simulator: max_events exceeded");
+    }
+    if (now > config_.max_time) {
+      throw std::runtime_error("Simulator: max_time exceeded");
+    }
+    ++report.events;
+
+    allocator_->allocate({flows.data(), active_end}, states, *network_, now);
+
+    // Drop the flows of coflows the allocator just rejected (admission
+    // control): they are marked completed-as-rejected at rejection time.
+    for (std::size_t idx = 0; idx < active_end;) {
+      CoflowState& st = states[flows[idx].coflow];
+      if (!st.rejected) {
+        ++idx;
+        continue;
+      }
+      if (!st.completed) {
+        st.completed = true;
+        st.completion = now;
+        report.coflows[st.id].completion = now;
+        report.coflows[st.id].rejected = true;
+      }
+      --st.flows_active;
+      --active_end;
+      std::swap(flows[idx], flows[active_end]);
+    }
+    if (active_end == 0) continue;  // everything active was rejected
+
+    // Next event: earliest flow completion or next coflow arrival.
+    double dt = kInf;
+    for (std::size_t idx = 0; idx < active_end; ++idx) {
+      const Flow& f = flows[idx];
+      if (f.rate > 0.0) dt = std::min(dt, f.remaining / f.rate);
+    }
+    if (next_unarrived < flows.size()) {
+      dt = std::min(dt, flows[next_unarrived].start - now);
+    }
+    if (dt == kInf) {
+      throw std::runtime_error(
+          "Simulator: starvation — allocator \"" + allocator_->name() +
+          "\" assigned zero rate to every active flow");
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance the clock and all active flows.
+    now += dt;
+    for (std::size_t idx = 0; idx < active_end;) {
+      Flow& f = flows[idx];
+      const double moved = f.rate * dt;
+      f.remaining -= moved;
+      states[f.coflow].bytes_sent += moved;
+      report.total_bytes += moved;
+      if (f.remaining <= config_.completion_epsilon) {
+        // Any sub-epsilon residue still counts as delivered.
+        states[f.coflow].bytes_sent += std::max(f.remaining, 0.0);
+        report.total_bytes += std::max(f.remaining, 0.0);
+        f.remaining = 0.0;
+        CoflowState& st = states[f.coflow];
+        --st.flows_active;
+        ++completed_total;
+        if (st.flows_active == 0) {
+          st.completed = true;
+          st.completion = now;
+          report.coflows[st.id].completion = now;
+        }
+        --active_end;
+        std::swap(flows[idx], flows[active_end]);
+        // Keep arrival bookkeeping consistent: the swapped-out slot now holds
+        // a finished flow that sits between active and unarrived regions.
+      } else {
+        ++idx;
+      }
+    }
+
+    if (config_.record_trace) {
+      trace_.push_back(TraceEvent{now, active_end, completed_total});
+    }
+
+    activate_arrivals();
+    if (active_end == 0 && next_unarrived >= flows.size()) break;
+  }
+
+  // Zero-flow coflows arriving after the last transfer finished never pass
+  // through the loop; close them at their arrival time.
+  for (CoflowState& st : states) {
+    if (!st.completed && st.flows_active == 0) {
+      st.completed = true;
+      st.completion = std::max(now, st.arrival);
+      report.coflows[st.id].completion = st.completion;
+    }
+    report.makespan = std::max(report.makespan, st.completion);
+  }
+  return report;
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,169 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccf::net {
+
+double TraceCoflow::total_bytes() const noexcept {
+  double mb = 0.0;
+  for (const auto& [rack, size_mb] : reducers) mb += size_mb;
+  return mb * 1e6;
+}
+
+CoflowTrace parse_coflow_trace(std::istream& in) {
+  CoflowTrace trace;
+  std::size_t declared = 0;
+  {
+    std::string header;
+    if (!std::getline(in, header)) {
+      throw std::invalid_argument("parse_coflow_trace: empty input");
+    }
+    std::istringstream hs(header);
+    if (!(hs >> trace.racks >> declared) || trace.racks == 0) {
+      throw std::invalid_argument("parse_coflow_trace: bad header line");
+    }
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceCoflow c;
+    double arrival_ms = 0.0;
+    std::size_t mappers = 0;
+    if (!(ls >> c.id >> arrival_ms >> mappers)) {
+      throw std::invalid_argument("parse_coflow_trace: bad coflow line: " + line);
+    }
+    if (arrival_ms < 0.0) {
+      throw std::invalid_argument("parse_coflow_trace: negative arrival");
+    }
+    c.arrival_seconds = arrival_ms / 1000.0;
+    if (mappers == 0) {
+      throw std::invalid_argument("parse_coflow_trace: coflow with no mappers");
+    }
+    for (std::size_t m = 0; m < mappers; ++m) {
+      std::uint32_t rack = 0;
+      if (!(ls >> rack) || rack >= trace.racks) {
+        throw std::invalid_argument("parse_coflow_trace: bad mapper rack");
+      }
+      c.mappers.push_back(rack);
+    }
+    std::size_t reducers = 0;
+    if (!(ls >> reducers) || reducers == 0) {
+      throw std::invalid_argument("parse_coflow_trace: bad reducer count");
+    }
+    for (std::size_t r = 0; r < reducers; ++r) {
+      std::string tok;
+      if (!(ls >> tok)) {
+        throw std::invalid_argument("parse_coflow_trace: missing reducer");
+      }
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("parse_coflow_trace: reducer needs rack:MB");
+      }
+      const auto rack = static_cast<std::uint32_t>(
+          std::stoul(tok.substr(0, colon)));
+      const double mb = std::stod(tok.substr(colon + 1));
+      if (rack >= trace.racks || mb < 0.0) {
+        throw std::invalid_argument("parse_coflow_trace: bad reducer entry");
+      }
+      c.reducers.emplace_back(rack, mb);
+    }
+    trace.coflows.push_back(std::move(c));
+  }
+  if (declared != 0 && declared != trace.coflows.size()) {
+    throw std::invalid_argument(
+        "parse_coflow_trace: header declares " + std::to_string(declared) +
+        " coflows, file has " + std::to_string(trace.coflows.size()));
+  }
+  return trace;
+}
+
+CoflowTrace load_coflow_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_coflow_trace: cannot open " + path);
+  return parse_coflow_trace(in);
+}
+
+void write_coflow_trace(const CoflowTrace& trace, std::ostream& out) {
+  out << trace.racks << ' ' << trace.coflows.size() << '\n';
+  out.precision(15);
+  for (const TraceCoflow& c : trace.coflows) {
+    out << c.id << ' ' << c.arrival_seconds * 1000.0 << ' '
+        << c.mappers.size();
+    for (const auto m : c.mappers) out << ' ' << m;
+    out << ' ' << c.reducers.size();
+    for (const auto& [rack, mb] : c.reducers) out << ' ' << rack << ':' << mb;
+    out << '\n';
+  }
+}
+
+std::vector<CoflowSpec> to_coflow_specs(const CoflowTrace& trace) {
+  std::vector<CoflowSpec> specs;
+  specs.reserve(trace.coflows.size());
+  for (const TraceCoflow& c : trace.coflows) {
+    FlowMatrix flows(trace.racks);
+    const double mapper_share = 1.0 / static_cast<double>(c.mappers.size());
+    for (const auto& [reducer, mb] : c.reducers) {
+      const double per_mapper = mb * 1e6 * mapper_share;
+      for (const auto mapper : c.mappers) {
+        if (mapper != reducer) flows.add(mapper, reducer, per_mapper);
+      }
+    }
+    specs.emplace_back(c.id, c.arrival_seconds, std::move(flows));
+  }
+  return specs;
+}
+
+CoflowTrace generate_synthetic_trace(const SyntheticTraceOptions& options,
+                                     util::Pcg32& rng) {
+  if (options.racks == 0) {
+    throw std::invalid_argument("generate_synthetic_trace: racks must be >= 1");
+  }
+  CoflowTrace trace;
+  trace.racks = options.racks;
+  const auto racks32 = static_cast<std::uint32_t>(options.racks);
+
+  std::vector<double> arrivals(options.coflows);
+  for (double& a : arrivals) a = rng.uniform(0.0, options.duration_seconds);
+  std::sort(arrivals.begin(), arrivals.end());
+
+  auto sample_racks = [&](std::size_t count) {
+    std::vector<std::uint32_t> racks;
+    while (racks.size() < count) {
+      const std::uint32_t r = rng.bounded(racks32);
+      if (std::find(racks.begin(), racks.end(), r) == racks.end()) {
+        racks.push_back(r);
+      }
+    }
+    return racks;
+  };
+
+  for (std::size_t i = 0; i < options.coflows; ++i) {
+    TraceCoflow c;
+    c.id = "synth" + std::to_string(i);
+    c.arrival_seconds = arrivals[i];
+    const bool heavy = rng.uniform01() < options.heavy_fraction;
+    // Narrow coflows touch a handful of racks; heavy ones fan wide.
+    const std::size_t max_width = std::max<std::size_t>(options.racks / 2, 1);
+    const std::size_t width =
+        heavy ? std::min<std::size_t>(max_width, 5 + rng.bounded(20))
+              : std::min<std::size_t>(max_width, 1 + rng.bounded(4));
+    c.mappers = sample_racks(width);
+    const auto reducer_racks = sample_racks(std::max<std::size_t>(width / 2, 1));
+    for (const auto rack : reducer_racks) {
+      const double mb = heavy
+                            ? rng.uniform(options.heavy_mb_min,
+                                          options.heavy_mb_max)
+                            : rng.uniform(options.small_mb_min,
+                                          options.small_mb_max);
+      c.reducers.emplace_back(rack, mb);
+    }
+    trace.coflows.push_back(std::move(c));
+  }
+  return trace;
+}
+
+}  // namespace ccf::net

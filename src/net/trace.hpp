@@ -1,0 +1,74 @@
+// Coflow trace support in the CoflowSim / Coflow-Benchmark format that
+// Varys and Aalo (the paper's back-end simulator lineage) ship with —
+// Facebook's "FB2010-1Hr-150-0" style:
+//
+//   line 1:  <numRacks> <numCoflows>
+//   line i:  <id> <arrivalMillis> <numMappers> <m1> ... <mM>
+//            <numReducers> <r1:sizeMB> ... <rR:sizeMB>
+//
+// A coflow's flows go from every mapper rack to every reducer rack; a
+// reducer's total shuffle size is split evenly across the mappers, exactly
+// as CoflowSim interprets the format. Mapper==reducer flows are local and
+// carry no traffic. A synthetic generator with the trace's heavy-tailed
+// character (many small narrow coflows, few large wide ones) is provided for
+// offline use.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/coflow.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+
+/// One coflow record of the trace.
+struct TraceCoflow {
+  std::string id;
+  double arrival_seconds = 0.0;
+  std::vector<std::uint32_t> mappers;  ///< rack ids holding map output
+  /// (rack id, total shuffle megabytes destined to that reducer).
+  std::vector<std::pair<std::uint32_t, double>> reducers;
+
+  /// Total shuffle bytes of the coflow.
+  double total_bytes() const noexcept;
+};
+
+/// A full trace: the fabric width plus all coflows.
+struct CoflowTrace {
+  std::size_t racks = 0;
+  std::vector<TraceCoflow> coflows;
+};
+
+/// Parse a trace. Throws std::invalid_argument on malformed content.
+CoflowTrace parse_coflow_trace(std::istream& in);
+/// Parse from a file. Throws std::runtime_error if it cannot be opened.
+CoflowTrace load_coflow_trace(const std::string& path);
+
+/// Serialize in the same format (round-trips with parse_coflow_trace).
+void write_coflow_trace(const CoflowTrace& trace, std::ostream& out);
+
+/// Convert to simulator inputs: one CoflowSpec per trace coflow, with flow
+/// (m -> r) volume = reducer_MB * 1e6 / numMappers for m != r.
+std::vector<CoflowSpec> to_coflow_specs(const CoflowTrace& trace);
+
+/// Knobs for the synthetic generator.
+struct SyntheticTraceOptions {
+  std::size_t racks = 50;
+  std::size_t coflows = 100;
+  double duration_seconds = 600.0;  ///< arrivals uniform over this window
+  /// Fraction of "long wide" coflows (the FB traces' heavy tail); the rest
+  /// are short and narrow.
+  double heavy_fraction = 0.15;
+  double small_mb_min = 1.0, small_mb_max = 64.0;     ///< per reducer
+  double heavy_mb_min = 256.0, heavy_mb_max = 4096.0; ///< per reducer
+};
+
+/// Generate a synthetic trace with the FB traces' character.
+CoflowTrace generate_synthetic_trace(const SyntheticTraceOptions& options,
+                                     util::Pcg32& rng);
+
+}  // namespace ccf::net

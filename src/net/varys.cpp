@@ -1,0 +1,48 @@
+// Varys-style SEBF + MADD (Chowdhury, Zhong & Stoica, SIGCOMM'14):
+// inter-coflow order = Smallest Effective Bottleneck First, i.e. ascending
+// Γ computed on full link capacities from remaining volumes; within a coflow
+// MADD; unused bandwidth backfills the next coflows in order.
+#include <algorithm>
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+class VarysAllocator final : public RateAllocator {
+ public:
+  std::string name() const override { return "varys"; }
+
+  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
+                const Network& network, double) override {
+    const std::vector<double> bottleneck =
+        detail::coflow_bottlenecks(active, coflows.size(), network);
+
+    std::vector<std::uint32_t> order;
+    order.reserve(coflows.size());
+    for (const CoflowState& c : coflows) {
+      if (c.started && !c.completed) order.push_back(c.id);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (bottleneck[a] != bottleneck[b]) return bottleneck[a] < bottleneck[b];
+      if (coflows[a].arrival != coflows[b].arrival) {
+        return coflows[a].arrival < coflows[b].arrival;
+      }
+      return a < b;
+    });
+
+    std::vector<double> residual = detail::link_residuals(network);
+    detail::madd_sequential(active, order, network, residual);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RateAllocator> make_varys_allocator();
+std::unique_ptr<RateAllocator> make_varys_allocator() {
+  return std::make_unique<VarysAllocator>();
+}
+
+}  // namespace ccf::net

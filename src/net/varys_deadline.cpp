@@ -1,0 +1,134 @@
+// Varys's deadline mode (SIGCOMM'14 §5.3), the "meeting coflow deadlines"
+// objective the paper's related-work section cites:
+//
+//  * Admission control — when a deadline coflow arrives, it is admitted only
+//    if giving it the minimum rates that finish it exactly at its deadline
+//    does not violate the guarantees of already-admitted coflows; otherwise
+//    it is rejected immediately (predictable rejection beats a silent miss).
+//  * Guaranteed allocation — admitted deadline coflows are served earliest-
+//    deadline-first with rate remaining/(deadline - now) per flow.
+//  * Work conservation — deadline-free coflows share the leftover capacity
+//    in SEBF order (plain Varys behavior).
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::net {
+
+namespace {
+
+class VarysDeadlineAllocator final : public RateAllocator {
+ public:
+  std::string name() const override { return "varys-edf"; }
+
+  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
+                const Network& network, double now) override {
+    std::vector<double> residual = detail::link_residuals(network);
+
+    // Bucket active flows per coflow.
+    std::vector<std::vector<std::size_t>> by_coflow(coflows.size());
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      active[idx].rate = 0.0;
+      by_coflow[active[idx].coflow].push_back(idx);
+    }
+
+    // Two passes, both earliest-absolute-deadline-first: already-admitted
+    // coflows lock in their guarantees before any newcomer is considered —
+    // admission never cannibalizes an existing guarantee.
+    auto edf = [&](bool admitted) {
+      std::vector<std::uint32_t> order;
+      for (CoflowState& c : coflows) {
+        if (c.started && !c.completed && !c.rejected && c.deadline > 0.0 &&
+            c.admitted == admitted) {
+          order.push_back(c.id);
+        }
+      }
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (coflows[a].deadline != coflows[b].deadline) {
+                    return coflows[a].deadline < coflows[b].deadline;
+                  }
+                  return a < b;
+                });
+      return order;
+    };
+    std::vector<std::uint32_t> deadline_order = edf(/*admitted=*/true);
+    const std::vector<std::uint32_t> newcomers = edf(/*admitted=*/false);
+    deadline_order.insert(deadline_order.end(), newcomers.begin(),
+                          newcomers.end());
+
+    std::vector<Network::LinkId> scratch;
+    for (const std::uint32_t cid : deadline_order) {
+      CoflowState& st = coflows[cid];
+      const double slack = st.deadline - now;
+      // Minimum per-flow rates to finish exactly at the deadline.
+      bool feasible = slack > 0.0;
+      std::vector<double> need(by_coflow[cid].size(), 0.0);
+      if (feasible) {
+        // Check every link's aggregate demand against its residual.
+        std::vector<double> demand(residual.size(), 0.0);
+        for (std::size_t m = 0; m < by_coflow[cid].size(); ++m) {
+          const Flow& f = active[by_coflow[cid][m]];
+          need[m] = f.remaining / slack;
+          scratch.clear();
+          network.append_links(f.src, f.dst, scratch);
+          for (const auto l : scratch) demand[l] += need[m];
+        }
+        for (std::size_t l = 0; l < residual.size() && feasible; ++l) {
+          if (demand[l] > residual[l] + 1e-9) feasible = false;
+        }
+      }
+      if (!st.admitted) {
+        // Admission decision happens once, at first sight.
+        if (feasible) {
+          st.admitted = true;
+        } else {
+          st.rejected = true;
+          continue;
+        }
+      }
+      if (!feasible) {
+        // An admitted coflow whose guarantee broke (should not happen with
+        // non-preemptive admission, but guard anyway): serve best-effort at
+        // MADD rates against the residual instead of starving it.
+        std::vector<std::uint32_t> one = {cid};
+        detail::madd_sequential(active, one, network, residual);
+        continue;
+      }
+      for (std::size_t m = 0; m < by_coflow[cid].size(); ++m) {
+        Flow& f = active[by_coflow[cid][m]];
+        f.rate = need[m];
+        scratch.clear();
+        network.append_links(f.src, f.dst, scratch);
+        for (const auto l : scratch) residual[l] -= need[m];
+      }
+      for (double& r : residual) r = std::max(r, 0.0);
+    }
+
+    // Deadline-free coflows: SEBF over the leftovers.
+    const std::vector<double> bottleneck =
+        detail::coflow_bottlenecks(active, coflows.size(), network);
+    std::vector<std::uint32_t> rest;
+    for (const CoflowState& c : coflows) {
+      if (c.started && !c.completed && !c.rejected && c.deadline == 0.0) {
+        rest.push_back(c.id);
+      }
+    }
+    std::sort(rest.begin(), rest.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (bottleneck[a] != bottleneck[b]) return bottleneck[a] < bottleneck[b];
+      return a < b;
+    });
+    detail::madd_sequential(active, rest, network, residual);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RateAllocator> make_varys_deadline_allocator();
+std::unique_ptr<RateAllocator> make_varys_deadline_allocator() {
+  return std::make_unique<VarysDeadlineAllocator>();
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,154 @@
+#include "opt/bnb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "opt/bounds.hpp"
+
+namespace ccf::opt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SearchContext {
+  const AssignmentProblem* problem;
+  const data::ChunkMatrix* m;
+  std::size_t n;
+  std::vector<std::uint32_t> order;  // partitions, largest first
+  std::vector<double> egress;
+  std::vector<double> ingress;
+  Assignment current;
+  BnbResult best;
+  BnbOptions options;
+  Clock::time_point deadline;
+  bool aborted = false;
+};
+
+double profile_max(const SearchContext& ctx) {
+  double t = 0.0;
+  for (const double v : ctx.egress) t = std::max(t, v);
+  for (const double v : ctx.ingress) t = std::max(t, v);
+  return t;
+}
+
+void dfs(SearchContext& ctx, std::size_t depth, double current_T) {
+  if (ctx.aborted) return;
+  ++ctx.best.nodes_explored;
+  if (ctx.best.nodes_explored >= ctx.options.max_nodes ||
+      (ctx.best.nodes_explored % 4096 == 0 && Clock::now() > ctx.deadline)) {
+    ctx.aborted = true;
+    return;
+  }
+  if (depth == ctx.order.size()) {
+    if (current_T < ctx.best.T) {
+      ctx.best.T = current_T;
+      ctx.best.dest = ctx.current;
+    }
+    return;
+  }
+
+  const std::span<const std::uint32_t> unassigned(ctx.order.data() + depth,
+                                                  ctx.order.size() - depth);
+  if (partial_lower_bound(*ctx.problem, ctx.egress, ctx.ingress, unassigned,
+                          current_T) >= ctx.best.T) {
+    return;  // prune
+  }
+
+  const std::uint32_t k = ctx.order[depth];
+  const double sk = ctx.m->partition_total(k);
+
+  // Score every destination by the incremental bottleneck, then branch
+  // best-first: good incumbents early tighten pruning.
+  struct Child {
+    double t;
+    std::uint32_t d;
+  };
+  std::vector<Child> children;
+  children.reserve(ctx.n);
+  for (std::uint32_t d = 0; d < ctx.n; ++d) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < ctx.n; ++i) {
+      const double e = i == d ? ctx.egress[i] : ctx.egress[i] + ctx.m->h(k, i);
+      const double in =
+          i == d ? ctx.ingress[i] + (sk - ctx.m->h(k, d)) : ctx.ingress[i];
+      t = std::max(t, std::max(e, in));
+    }
+    children.push_back({t, d});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const Child& a, const Child& b) {
+              return a.t != b.t ? a.t < b.t : a.d < b.d;
+            });
+
+  for (const Child& c : children) {
+    if (c.t >= ctx.best.T) break;  // children sorted: the rest are no better
+    const std::uint32_t d = c.d;
+    // Apply.
+    for (std::size_t i = 0; i < ctx.n; ++i) {
+      if (i != d) ctx.egress[i] += ctx.m->h(k, i);
+    }
+    ctx.ingress[d] += sk - ctx.m->h(k, d);
+    ctx.current[k] = d;
+
+    dfs(ctx, depth + 1, c.t);
+
+    // Undo.
+    for (std::size_t i = 0; i < ctx.n; ++i) {
+      if (i != d) ctx.egress[i] -= ctx.m->h(k, i);
+    }
+    ctx.ingress[d] -= sk - ctx.m->h(k, d);
+    if (ctx.aborted) return;
+  }
+}
+
+}  // namespace
+
+BnbResult solve_exact(const AssignmentProblem& problem, BnbOptions options) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+
+  SearchContext ctx;
+  ctx.problem = &problem;
+  ctx.m = &m;
+  ctx.n = m.nodes();
+  ctx.options = options;
+  ctx.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        options.time_limit_s));
+
+  ctx.order.resize(m.partitions());
+  for (std::size_t k = 0; k < m.partitions(); ++k) {
+    ctx.order[k] = static_cast<std::uint32_t>(k);
+  }
+  std::stable_sort(ctx.order.begin(), ctx.order.end(),
+                   [&m](std::uint32_t a, std::uint32_t b) {
+                     return m.partition_total(a) > m.partition_total(b);
+                   });
+
+  ctx.egress.resize(ctx.n);
+  ctx.ingress.resize(ctx.n);
+  for (std::size_t i = 0; i < ctx.n; ++i) {
+    ctx.egress[i] = problem.initial_egress_at(i);
+    ctx.ingress[i] = problem.initial_ingress_at(i);
+  }
+  ctx.current.assign(m.partitions(), 0);
+
+  // Incumbent: caller-provided warm start, else the reference greedy.
+  Assignment warm = options.initial ? *options.initial
+                                    : greedy_reference(problem);
+  if (warm.size() != m.partitions()) {
+    throw std::invalid_argument("solve_exact: warm start size mismatch");
+  }
+  ctx.best.dest = warm;
+  ctx.best.T = makespan(problem, warm);
+
+  dfs(ctx, 0, profile_max(ctx));
+
+  ctx.best.optimal = !ctx.aborted;
+  return ctx.best;
+}
+
+}  // namespace ccf::opt

@@ -1,0 +1,40 @@
+// Exact solver for model (3) by depth-first branch-and-bound.
+//
+// The problem is an integer multi-commodity-flow instance and NP-complete
+// (paper §III-B, citing Even/Itai/Shamir), so this solver targets the small
+// instances used to (a) validate the heuristic's optimality gap and (b)
+// reproduce the paper's point that the exact approach cannot scale (the
+// paper reports Gurobi needing >30 min at 500 nodes / 7500 partitions).
+//
+// Search: partitions in descending size order; children (destinations)
+// explored best-first by incremental makespan; pruned with
+// partial_lower_bound(); incumbent seeded with the greedy heuristic.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "opt/model.hpp"
+
+namespace ccf::opt {
+
+struct BnbOptions {
+  /// Abort after exploring this many search nodes (result flagged !optimal).
+  std::size_t max_nodes = 5'000'000;
+  /// Wall-clock limit in seconds (result flagged !optimal on expiry).
+  double time_limit_s = 30.0;
+  /// Optional warm-start incumbent; must be a valid full assignment.
+  std::optional<Assignment> initial;
+};
+
+struct BnbResult {
+  Assignment dest;       ///< best assignment found
+  double T = 0.0;        ///< its makespan (bytes)
+  bool optimal = false;  ///< proven optimal (search exhausted)
+  std::size_t nodes_explored = 0;
+};
+
+/// Solve to proven optimality or until a limit trips.
+BnbResult solve_exact(const AssignmentProblem& problem, BnbOptions options = {});
+
+}  // namespace ccf::opt

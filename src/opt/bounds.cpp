@@ -1,0 +1,58 @@
+#include "opt/bounds.hpp"
+
+#include <algorithm>
+
+namespace ccf::opt {
+
+double min_partition_traffic(const data::ChunkMatrix& m, std::size_t k) {
+  return m.partition_total(k) - m.partition_max(k);
+}
+
+double root_lower_bound(const AssignmentProblem& problem) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+
+  double unavoidable = 0.0;     // Σ_k minimum traffic
+  double biggest_single = 0.0;  // the largest single unavoidable ingress
+  for (std::size_t k = 0; k < m.partitions(); ++k) {
+    const double t = min_partition_traffic(m, k);
+    unavoidable += t;
+    biggest_single = std::max(biggest_single, t);
+  }
+  double init_total = 0.0;
+  double init_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    init_total += problem.initial_ingress_at(i);
+    init_max = std::max(init_max, std::max(problem.initial_ingress_at(i),
+                                           problem.initial_egress_at(i)));
+  }
+  const double spread = (unavoidable + init_total) / static_cast<double>(n);
+  return std::max({spread, biggest_single, init_max});
+}
+
+double partial_lower_bound(const AssignmentProblem& problem,
+                           std::span<const double> egress,
+                           std::span<const double> ingress,
+                           std::span<const std::uint32_t> unassigned,
+                           double current_T) {
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+
+  double future_min = 0.0;
+  for (const std::uint32_t k : unassigned) {
+    future_min += min_partition_traffic(m, k);
+  }
+  double ingress_total = 0.0;
+  for (const double v : ingress) ingress_total += v;
+  double egress_total = 0.0;
+  for (const double v : egress) egress_total += v;
+
+  // Every byte of future traffic raises both total ingress and total egress;
+  // the bottleneck port is at least the average.
+  const double spread_in = (ingress_total + future_min) / static_cast<double>(n);
+  const double spread_out = (egress_total + future_min) / static_cast<double>(n);
+  return std::max({current_T, spread_in, spread_out});
+}
+
+}  // namespace ccf::opt

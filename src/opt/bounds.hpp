@@ -1,0 +1,34 @@
+// Lower bounds on the optimal makespan T* of an AssignmentProblem.
+// Used to prune the exact branch-and-bound search and, in benches/tests, to
+// sanity-check how far the heuristic can possibly be from optimal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "opt/model.hpp"
+
+namespace ccf::opt {
+
+/// Root lower bound on T*:
+///   max( spread bound, largest unavoidable single-partition move ).
+/// The spread bound: however partitions are placed, at least
+/// Σ_k (S_k − max_i h_{ik}) bytes must cross the network; adding the fixed
+/// initial loads and dividing by n bounds the bottleneck port from below.
+double root_lower_bound(const AssignmentProblem& problem);
+
+/// Lower bound for a partial assignment: partitions `assigned[k] == true`
+/// contribute their exact loads (already accumulated into egress/ingress by
+/// the caller); unassigned ones at least their minimum possible traffic.
+/// `current_T` is the bottleneck of the partial loads.
+double partial_lower_bound(const AssignmentProblem& problem,
+                           std::span<const double> egress,
+                           std::span<const double> ingress,
+                           std::span<const std::uint32_t> unassigned,
+                           double current_T);
+
+/// Minimum bytes partition k must put on the wire regardless of destination:
+/// S_k − max_i h_{ik}.
+double min_partition_traffic(const data::ChunkMatrix& m, std::size_t k);
+
+}  // namespace ccf::opt

@@ -1,0 +1,138 @@
+#include "opt/local_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "opt/bounds.hpp"
+
+namespace ccf::opt {
+
+namespace {
+
+// Indices of the two largest entries of v (first >= second).
+struct Top2 {
+  std::size_t arg_max = 0;
+  double max = 0.0;
+  double second = 0.0;
+};
+
+Top2 top2(const std::vector<double>& v) {
+  Top2 t;
+  t.max = -1.0;
+  t.second = -1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > t.max) {
+      t.second = t.max;
+      t.max = v[i];
+      t.arg_max = i;
+    } else if (v[i] > t.second) {
+      t.second = v[i];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
+                         LocalSearchOptions options) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+  const std::size_t p = m.partitions();
+  if (dest.size() != p) {
+    throw std::invalid_argument("refine: assignment size != partitions");
+  }
+
+  LoadProfile loads = evaluate(problem, dest);
+  LocalSearchResult result;
+  result.initial_T = result.final_T = loads.makespan();
+  const double lb = root_lower_bound(problem);
+
+  std::vector<double> part_total(p);
+  for (std::size_t k = 0; k < p; ++k) part_total[k] = m.partition_total(k);
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    bool moved = false;
+    for (std::size_t k = 0; k < p; ++k) {
+      if (result.final_T <= lb * (1.0 + options.bound_tolerance)) {
+        return result;
+      }
+      const std::uint32_t old_d = dest[k];
+      // Temporarily remove partition k from the loads.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != old_d) loads.egress[i] -= m.h(k, i);
+      }
+      loads.ingress[old_d] -= part_total[k] - m.h(k, old_d);
+
+      // Candidate scoring with the same top-2 trick as the O(p·n) greedy.
+      Top2 eg;
+      {
+        // egress with partition k re-added everywhere (value if i != d).
+        eg.max = -1.0;
+        eg.second = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double v = loads.egress[i] + m.h(k, i);
+          if (v > eg.max) {
+            eg.second = eg.max;
+            eg.max = v;
+            eg.arg_max = i;
+          } else if (v > eg.second) {
+            eg.second = v;
+          }
+        }
+      }
+      const Top2 in = top2(loads.ingress);
+
+      double best_t = 0.0;
+      std::uint32_t best_d = old_d;
+      bool first = true;
+      for (std::uint32_t d = 0; d < n; ++d) {
+        const double egress_max =
+            std::max(d == eg.arg_max ? std::max(eg.second, loads.egress[d])
+                                     : eg.max,
+                     loads.egress[d]);
+        const double in_other = d == in.arg_max ? in.second : in.max;
+        const double ingress_max =
+            std::max(in_other,
+                     loads.ingress[d] + (part_total[k] - m.h(k, d)));
+        const double t = std::max(egress_max, ingress_max);
+        if (first || t < best_t || (t == best_t && d == old_d)) {
+          best_t = t;
+          best_d = d;
+          first = false;
+        }
+      }
+
+      // Re-apply at the chosen destination.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != best_d) loads.egress[i] += m.h(k, i);
+      }
+      loads.ingress[best_d] += part_total[k] - m.h(k, best_d);
+      if (best_d != old_d && best_t < result.final_T) {
+        dest[k] = best_d;
+        ++result.moves;
+        moved = true;
+        result.final_T = loads.makespan();
+      } else if (best_d != old_d) {
+        // Move does not improve the global bottleneck: revert.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i != best_d) loads.egress[i] -= m.h(k, i);
+        }
+        loads.ingress[best_d] -= part_total[k] - m.h(k, best_d);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i != old_d) loads.egress[i] += m.h(k, i);
+        }
+        loads.ingress[old_d] += part_total[k] - m.h(k, old_d);
+        dest[k] = old_d;
+      }
+    }
+    if (!moved) break;
+  }
+  result.final_T = loads.makespan();
+  return result;
+}
+
+}  // namespace ccf::opt

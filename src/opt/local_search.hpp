@@ -1,0 +1,34 @@
+// Local-search refinement of an assignment (extension beyond the paper).
+//
+// Algorithm 1 is a one-pass greedy: early placements are never revisited.
+// This pass repeatedly relocates single partitions whenever doing so strictly
+// lowers the bottleneck makespan T, until a fixed point or a round limit.
+// Used by the "ccf-ls" scheduler and the ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "opt/model.hpp"
+
+namespace ccf::opt {
+
+struct LocalSearchOptions {
+  /// Maximum full sweeps over all partitions.
+  std::size_t max_rounds = 8;
+  /// Stop a sweep early once T is within this relative distance of the
+  /// root lower bound (already provably near-optimal).
+  double bound_tolerance = 1e-9;
+};
+
+struct LocalSearchResult {
+  std::size_t moves = 0;       ///< relocations applied
+  std::size_t rounds = 0;      ///< sweeps executed
+  double initial_T = 0.0;
+  double final_T = 0.0;
+};
+
+/// Refine `dest` in place. Never increases makespan.
+LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
+                         LocalSearchOptions options = {});
+
+}  // namespace ccf::opt

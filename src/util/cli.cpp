@@ -1,0 +1,150 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccf::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, std::string default_value,
+                         std::string help) {
+  Flag f;
+  f.value = f.default_value = std::move(default_value);
+  f.help = std::move(help);
+  if (!flags_.emplace(name, std::move(f)).second) {
+    throw std::logic_error("ArgParser: duplicate flag --" + name);
+  }
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("ArgParser: unexpected positional: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("ArgParser: unknown flag --" + arg);
+    }
+    if (!has_value) {
+      // Boolean flags may omit the value; otherwise consume the next token.
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool && (i + 1 >= argc ||
+                      std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("ArgParser: missing value for --" + arg);
+      }
+    }
+    it->second.value = value;
+    it->second.provided = true;
+  }
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::logic_error("ArgParser: flag not registered: --" + name);
+  }
+  return it->second;
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  return find(name).provided;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  return find(name).value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("ArgParser: not a boolean for --" + name + ": " + v);
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> ArgParser::get_int_sweep(const std::string& name) const {
+  const auto parts = split(get(name), ':');
+  if (parts.size() == 1) return {std::stoll(parts[0])};
+  if (parts.size() != 3) {
+    throw std::invalid_argument("ArgParser: sweep must be lo:hi:step: --" + name);
+  }
+  const std::int64_t lo = std::stoll(parts[0]);
+  const std::int64_t hi = std::stoll(parts[1]);
+  const std::int64_t step = std::stoll(parts[2]);
+  if (step <= 0 || hi < lo) {
+    throw std::invalid_argument("ArgParser: bad sweep bounds for --" + name);
+  }
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+std::vector<double> ArgParser::get_double_sweep(const std::string& name) const {
+  const auto parts = split(get(name), ':');
+  if (parts.size() == 1) return {std::stod(parts[0])};
+  if (parts.size() != 3) {
+    throw std::invalid_argument("ArgParser: sweep must be lo:hi:step: --" + name);
+  }
+  const double lo = std::stod(parts[0]);
+  const double hi = std::stod(parts[1]);
+  const double step = std::stod(parts[2]);
+  if (step <= 0.0 || hi < lo) {
+    throw std::invalid_argument("ArgParser: bad sweep bounds for --" + name);
+  }
+  std::vector<double> out;
+  for (double v = lo; v <= hi + step * 1e-9; v += step) out.push_back(v);
+  return out;
+}
+
+std::string ArgParser::usage() const {
+  std::stringstream ss;
+  ss << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    ss << "  --" << name << " <value>   " << flag.help
+       << " (default: " << flag.default_value << ")\n";
+  }
+  return ss.str();
+}
+
+}  // namespace ccf::util

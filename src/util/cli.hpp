@@ -1,0 +1,60 @@
+// Minimal command-line flag parser for the example and benchmark binaries.
+// Supports `--name value`, `--name=value`, boolean `--flag`, and `--help`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+/// Declarative flag parser.
+///
+///   ArgParser args("bench_fig5_nodes", "Reproduces Figure 5");
+///   args.add_flag("nodes", "100:1000:100", "node sweep lo:hi:step");
+///   args.parse(argc, argv);                 // exits(0) on --help
+///   auto n = args.get_int("nodes");
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register a flag with a default value (also its help text default).
+  void add_flag(const std::string& name, std::string default_value,
+                std::string help);
+
+  /// Parse argv. Unknown flags or missing values throw std::invalid_argument.
+  /// `--help` prints usage and std::exit(0)s.
+  void parse(int argc, const char* const* argv);
+
+  /// True if the flag was explicitly provided on the command line.
+  bool provided(const std::string& name) const;
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// "lo:hi:step" inclusive integer sweep, or a single value "n" -> {n}.
+  std::vector<std::int64_t> get_int_sweep(const std::string& name) const;
+  /// "lo:hi:step" inclusive floating sweep (step > 0), or single value.
+  std::vector<double> get_double_sweep(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+    bool provided = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace ccf::util

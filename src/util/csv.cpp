@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace ccf::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  header(std::vector<std::string>(columns));
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (columns_ != 0) throw std::logic_error("CsvWriter: header written twice");
+  columns_ = columns.size();
+  write_row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (columns_ != 0 && cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width does not match header");
+  }
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    const std::string& s = cells[i];
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (const char c : s) {
+        if (c == '"') out_ << "\"\"";
+        else out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << s;
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace ccf::util

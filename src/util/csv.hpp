@@ -1,0 +1,35 @@
+// CSV output for benchmark series. Every bench binary can optionally dump its
+// data points as CSV (via --csv <path>) so figures can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+/// Streaming CSV writer; opens the file on construction, flushes on
+/// destruction. Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Write the header row (once, before any data rows).
+  void header(std::initializer_list<std::string> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row; width must match the header if one was written.
+  void row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ccf::util

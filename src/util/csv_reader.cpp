@@ -1,0 +1,75 @@
+#include "util/csv_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ccf::util {
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // row has at least one cell boundary
+  char c;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = true;
+  };
+  auto end_row = [&] {
+    if (cell_started || !cell.empty()) {
+      end_cell();
+      rows.push_back(std::move(row));
+    }
+    row.clear();
+    cell_started = false;
+  };
+
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          cell += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty()) {
+          throw std::invalid_argument("read_csv: quote inside unquoted cell");
+        }
+        in_quotes = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += c;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("read_csv: unterminated quote");
+  end_row();  // final line without trailing newline
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+}  // namespace ccf::util

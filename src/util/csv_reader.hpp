@@ -1,0 +1,21 @@
+// CSV parsing — the read side of csv.hpp's writer. Used by the command-line
+// tools (tools/ccf_sim, tools/ccf_schedule) to ingest user-provided flow and
+// chunk matrices. Handles RFC-4180-style quoting (the format CsvWriter
+// emits): quoted fields, escaped quotes (""), commas and newlines inside
+// quotes.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+/// Parse an entire CSV stream into rows of cells. Empty lines are skipped.
+/// Throws std::invalid_argument on malformed quoting.
+std::vector<std::vector<std::string>> read_csv(std::istream& in);
+
+/// Parse a CSV file. Throws std::runtime_error if it cannot be opened.
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path);
+
+}  // namespace ccf::util

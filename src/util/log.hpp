@@ -1,0 +1,37 @@
+// Tiny leveled logger (stderr). The library itself logs nothing above DEBUG
+// by default; benches raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ccf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line "[LEVEL] message" to stderr if level >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log(LogLevel::kInfo, "n=", n, " t=", t).
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace ccf::util

@@ -1,0 +1,20 @@
+// Minimal task parallelism for embarrassingly parallel work (CP.4: think in
+// terms of tasks). Used by the benchmark harness to evaluate independent
+// sweep points concurrently — each point generates its own workload and owns
+// all of its state, so no synchronization beyond the index counter is
+// needed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ccf::util {
+
+/// Run fn(i) for every i in [0, count) on up to `threads` worker threads
+/// (0 = hardware concurrency). Blocks until all iterations finish. The first
+/// exception thrown by any iteration is rethrown on the calling thread after
+/// the pool drains. fn must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace ccf::util

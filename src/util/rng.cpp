@@ -1,0 +1,83 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ccf::util {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+std::uint32_t Pcg32::operator()() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) noexcept {
+  // Lemire (2019): unbiased bounded generation with one multiply most times.
+  std::uint64_t m = std::uint64_t{(*this)()} * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (lo < threshold) {
+      m = std::uint64_t{(*this)()} * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>((std::uint64_t{(*this)()} << 32) |
+                                     (*this)());
+  }
+  if (span <= 0xffffffffULL) {
+    return lo + static_cast<std::int64_t>(bounded(static_cast<std::uint32_t>(span)));
+  }
+  // Rejection sample over 64 bits for large spans.
+  const std::uint64_t limit = span * ((~0ULL) / span);
+  for (;;) {
+    const std::uint64_t r = (std::uint64_t{(*this)()} << 32) | (*this)();
+    if (r < limit) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double Pcg32::uniform01() noexcept {
+  const std::uint64_t r = (std::uint64_t{(*this)()} << 32) | (*this)();
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Pcg32::normal() noexcept {
+  // Box-Muller; uniform01() can return 0, so flip to (0,1].
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Pcg32 Pcg32::fork(std::uint64_t salt) noexcept {
+  const std::uint64_t s = (std::uint64_t{(*this)()} << 32) | (*this)();
+  return Pcg32(s ^ salt, salt * 0x9e3779b97f4a7c15ULL + 1);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  SplitMix64 sm(master ^ (index * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  sm();
+  return sm();
+}
+
+}  // namespace ccf::util

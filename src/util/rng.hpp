@@ -1,0 +1,91 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Everything in this reproduction that involves randomness (data generation,
+// skew injection, random instances in tests and benches) is seeded explicitly
+// so that every experiment is exactly reproducible from its command line.
+//
+// We provide two generators:
+//   * SplitMix64 — stateless-feeling 64-bit mixer, used to derive seeds.
+//   * Pcg32      — the PCG-XSH-RR 32-bit generator, the workhorse. It is an
+//                  STL-compatible UniformRandomBitGenerator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ccf::util {
+
+/// SplitMix64: Steele, Lea & Flood's 64-bit mixing generator.
+/// Primarily used to expand one user-provided seed into independent
+/// per-subsystem seeds (seed sequences without std::seed_seq overhead).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 random bits.
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR variant): small, fast, statistically strong 32-bit generator.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions,
+/// but the members below avoid <random>'s per-platform divergence, keeping
+/// generated datasets identical across standard libraries.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Construct from a seed and an (odd-ified) stream id. Two generators with
+  /// the same seed but different streams produce independent sequences.
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  /// Next 32 random bits.
+  std::uint32_t operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound == 0 is undefined.
+  /// Uses Lemire's unbiased multiply-shift rejection method.
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; branch-free reproducible).
+  double normal() noexcept;
+
+  /// Fork an independent child generator; deterministic in (this state, salt).
+  Pcg32 fork(std::uint64_t salt) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Derive the i-th independent 64-bit seed from a master seed.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept;
+
+}  // namespace ccf::util

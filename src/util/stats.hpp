@@ -1,0 +1,67 @@
+// Small statistics helpers used by metrics reporting, load-balance analysis,
+// and tests (e.g. verifying that generated chunk sizes follow the requested
+// Zipf shape, or quantifying imbalance of a placement).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccf::util {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max / sum.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th percentile (q in [0,1]) with linear interpolation; copies and sorts.
+/// Returns 0 for an empty span.
+double percentile(std::span<const double> xs, double q);
+
+/// Gini coefficient of non-negative values — 0 is perfectly balanced,
+/// -> 1 is maximally concentrated. Used to quantify load imbalance.
+double gini(std::span<const double> xs);
+
+/// max(xs)/mean(xs); 1.0 means perfectly balanced. Returns 0 for empty input.
+double imbalance_ratio(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside the
+/// range clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of a bucket.
+  double edge(std::size_t bucket) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ccf::util

@@ -1,0 +1,39 @@
+// ASCII table rendering for the benchmark harness. Every bench binary prints
+// the rows/series of the paper table or figure it regenerates using this.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+/// Column-aligned ASCII table with a header row and '-' separators.
+///
+///   Table t({"nodes", "Hash (s)", "CCF (s)"});
+///   t.add_row({"100", "812.4", "301.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Render with right-aligned numeric-looking cells, left-aligned text.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment, RFC-ish quoting).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccf::util

@@ -1,0 +1,28 @@
+// Human-readable unit formatting for benchmark/table output
+// (bytes -> "1.23 GB", seconds -> "4m32s", counts -> "1.2M").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccf::util {
+
+/// Bytes with binary-free decimal units (kB/MB/GB/TB), 3 significant digits.
+/// The paper reports GB with decimal semantics, so we do too.
+std::string format_bytes(double bytes);
+
+/// Seconds as "123.4 s", "12.3 ms", "1h02m" etc. depending on magnitude.
+std::string format_seconds(double seconds);
+
+/// Plain count with k/M/B suffixes.
+std::string format_count(double count);
+
+/// Fixed-precision double (printf "%.*f") as a std::string.
+std::string format_fixed(double value, int precision);
+
+/// Parse strings like "600", "1.5G", "250M", "4k" into a double
+/// (decimal suffixes k=1e3, M=1e6, G=1e9, T=1e12). Throws std::invalid_argument
+/// on malformed input.
+double parse_scaled(const std::string& text);
+
+}  // namespace ccf::util

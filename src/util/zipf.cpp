@@ -1,0 +1,62 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccf::util {
+
+double generalized_harmonic(std::size_t n, double theta) {
+  double h = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    h += std::pow(static_cast<double>(r), -theta);
+  }
+  return h;
+}
+
+std::vector<double> zipf_weights(std::size_t n, double theta) {
+  if (n == 0) throw std::invalid_argument("zipf_weights: n must be >= 1");
+  if (theta < 0.0) throw std::invalid_argument("zipf_weights: theta must be >= 0");
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -theta);
+    sum += w[r];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+    : theta_(theta), weights_(zipf_weights(n, theta)), prob_(n), alias_(n) {
+  // Walker/Vose alias table construction.
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t l : large) prob_[l] = 1.0;
+  for (const std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t ZipfSampler::operator()(Pcg32& rng) const noexcept {
+  const auto i = static_cast<std::size_t>(
+      rng.bounded(static_cast<std::uint32_t>(prob_.size())));
+  return rng.uniform01() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace ccf::util

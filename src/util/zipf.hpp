@@ -1,0 +1,52 @@
+// Zipfian distributions.
+//
+// The paper (§IV-A2) makes the per-node chunk sizes of every data partition
+// follow a Zipf distribution across the n nodes ("zipf" factor 0..1, default
+// 0.8, with node 0 always holding the largest chunk). Two facilities:
+//
+//   * zipf_weights(n, theta)  — the normalized rank weights w_r ∝ r^{-theta},
+//     used to split partition volume across nodes analytically.
+//   * ZipfSampler             — draws ranks with probability w_r; used by the
+//     tuple-level generator so that small-scale tuple data matches the
+//     distribution-level matrices in expectation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccf::util {
+
+/// Normalized Zipf weights over ranks 1..n: w_r = r^{-theta} / H_{n,theta}.
+/// theta == 0 gives the uniform distribution. Requires n >= 1, theta >= 0.
+std::vector<double> zipf_weights(std::size_t n, double theta);
+
+/// Generalized harmonic number H_{n,theta} = sum_{r=1..n} r^{-theta}.
+double generalized_harmonic(std::size_t n, double theta);
+
+/// Draws ranks in [0, n) with P(rank = r) = zipf_weights(n, theta)[r].
+/// Implemented with Walker's alias method: O(n) build, O(1) per sample,
+/// exact (up to floating point) for any theta >= 0.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  /// Sample a rank in [0, n).
+  std::size_t operator()(Pcg32& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  double theta() const noexcept { return theta_; }
+
+  /// The exact probability of each rank (the alias tables are built from it).
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  double theta_;
+  std::vector<double> weights_;  // normalized rank probabilities
+  std::vector<double> prob_;     // alias-method acceptance probabilities
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace ccf::util

@@ -1,0 +1,131 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::core {
+namespace {
+
+data::Workload small_workload(double skew = 0.2, double zipf = 0.8) {
+  data::WorkloadSpec spec;
+  spec.nodes = 10;
+  spec.partitions = 150;
+  spec.customer_bytes = 9e7;
+  spec.orders_bytes = 9e8;
+  spec.zipf_theta = zipf;
+  spec.skew = skew;
+  spec.seed = 21;
+  return data::generate_workload(spec);
+}
+
+TEST(PaperSystem, FlagsMatchPaperSetup) {
+  const auto hash = PipelineOptions::paper_system("hash");
+  EXPECT_FALSE(hash.skew_handling);
+  EXPECT_EQ(hash.allocator, net::AllocatorKind::kMadd);
+  const auto mini = PipelineOptions::paper_system("mini");
+  EXPECT_TRUE(mini.skew_handling);
+  const auto ccf = PipelineOptions::paper_system("ccf");
+  EXPECT_TRUE(ccf.skew_handling);
+}
+
+TEST(RunPipeline, ReportFieldsAreConsistent) {
+  const auto w = small_workload();
+  const RunReport r = run_pipeline(w, PipelineOptions::paper_system("ccf"));
+  EXPECT_EQ(r.scheduler, "ccf");
+  EXPECT_TRUE(r.skew_handled);
+  EXPECT_GT(r.traffic_bytes, 0.0);
+  EXPECT_GT(r.flow_count, 0u);
+  EXPECT_GT(r.cct_seconds, 0.0);
+  // Under MADD the simulated CCT equals the analytic bound.
+  EXPECT_NEAR(r.cct_seconds, r.gamma_seconds, 1e-6 * r.gamma_seconds);
+  // T (bytes) / port rate == gamma (seconds).
+  EXPECT_NEAR(r.makespan_bytes / net::Fabric::kDefaultPortRate,
+              r.gamma_seconds, 1e-9 * r.gamma_seconds);
+  EXPECT_GE(r.schedule_seconds, 0.0);
+}
+
+TEST(RunPipeline, AnalyticModeSkipsSimulation) {
+  const auto w = small_workload();
+  PipelineOptions opts = PipelineOptions::paper_system("ccf");
+  opts.simulate = false;
+  const RunReport r = run_pipeline(w, opts);
+  EXPECT_DOUBLE_EQ(r.cct_seconds, r.gamma_seconds);
+  EXPECT_TRUE(r.sim.coflows.empty());
+}
+
+TEST(RunPipeline, AnalyticEqualsSimulatedForAllPaperSystems) {
+  const auto w = small_workload();
+  for (const char* name : {"hash", "mini", "ccf"}) {
+    PipelineOptions sim_opts = PipelineOptions::paper_system(name);
+    PipelineOptions ana_opts = sim_opts;
+    ana_opts.simulate = false;
+    const double sim_cct = run_pipeline(w, sim_opts).cct_seconds;
+    const double ana_cct = run_pipeline(w, ana_opts).cct_seconds;
+    EXPECT_NEAR(sim_cct, ana_cct, 1e-6 * ana_cct + 1e-12) << name;
+  }
+}
+
+TEST(RunPipeline, CcfFastestOnPaperStyleWorkload) {
+  const auto w = small_workload();
+  const double hash =
+      run_pipeline(w, PipelineOptions::paper_system("hash")).cct_seconds;
+  const double mini =
+      run_pipeline(w, PipelineOptions::paper_system("mini")).cct_seconds;
+  const double ccf =
+      run_pipeline(w, PipelineOptions::paper_system("ccf")).cct_seconds;
+  EXPECT_LT(ccf, hash);
+  EXPECT_LT(ccf, mini);
+}
+
+TEST(RunPipeline, MiniHasLeastTrafficWithoutSkewHandling) {
+  // With skew handling off for everyone, Mini minimizes traffic by design.
+  const auto w = small_workload();
+  PipelineOptions opts;
+  opts.skew_handling = false;
+  opts.scheduler = "mini";
+  const double mini = run_pipeline(w, opts).traffic_bytes;
+  for (const char* name : {"hash", "ccf"}) {
+    opts.scheduler = name;
+    EXPECT_LE(mini, run_pipeline(w, opts).traffic_bytes + 1e-6) << name;
+  }
+}
+
+TEST(RunPipeline, SkewHandlingReducesTrafficAndCct) {
+  const auto w = small_workload(0.4);
+  PipelineOptions with = PipelineOptions::paper_system("ccf");
+  PipelineOptions without = with;
+  without.skew_handling = false;
+  const RunReport rw = run_pipeline(w, with);
+  const RunReport ro = run_pipeline(w, without);
+  EXPECT_LT(rw.traffic_bytes, ro.traffic_bytes);
+  EXPECT_LE(rw.cct_seconds, ro.cct_seconds + 1e-9);
+}
+
+TEST(RunPipeline, PortRateScalesCct) {
+  const auto w = small_workload();
+  PipelineOptions fast = PipelineOptions::paper_system("ccf");
+  PipelineOptions slow = fast;
+  fast.port_rate = 250e6;
+  slow.port_rate = 125e6;
+  const double f = run_pipeline(w, fast).cct_seconds;
+  const double s = run_pipeline(w, slow).cct_seconds;
+  EXPECT_NEAR(s / f, 2.0, 1e-6);
+}
+
+TEST(RunPipeline, HashSeesFullSkewHotspot) {
+  // Without skew handling the hot partition floods one ingress port: Hash's
+  // bottleneck must be at least the remote share of the skewed mass.
+  const auto w = small_workload(0.5);
+  const RunReport r = run_pipeline(w, PipelineOptions::paper_system("hash"));
+  const double skewed = w.skew.skewed_bytes_total();
+  EXPECT_GT(r.makespan_bytes, 0.5 * skewed);
+}
+
+TEST(RunPipeline, UnknownSchedulerThrows) {
+  const auto w = small_workload();
+  PipelineOptions opts;
+  opts.scheduler = "nope";
+  EXPECT_THROW(run_pipeline(w, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::core

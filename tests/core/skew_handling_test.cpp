@@ -1,0 +1,108 @@
+#include "core/skew_handling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/workload.hpp"
+
+namespace ccf::core {
+namespace {
+
+data::Workload skewed_workload() {
+  data::WorkloadSpec spec;
+  spec.nodes = 6;
+  spec.partitions = 60;
+  spec.customer_bytes = 6e6;
+  spec.orders_bytes = 60e6;
+  spec.skew = 0.25;
+  spec.seed = 3;
+  return data::generate_workload(spec);
+}
+
+TEST(ApplyPartialDuplication, DisabledIsPassThrough) {
+  const auto w = skewed_workload();
+  const PreparedInput out = apply_partial_duplication(w, false);
+  EXPECT_FALSE(out.skew_handled);
+  EXPECT_EQ(out.residual, w.matrix);
+  EXPECT_DOUBLE_EQ(out.initial_flows.traffic(), 0.0);
+  EXPECT_DOUBLE_EQ(out.pinned_local_bytes, 0.0);
+}
+
+TEST(ApplyPartialDuplication, NoSkewIsPassThroughEvenWhenEnabled) {
+  auto spec = skewed_workload().spec;
+  spec.skew = 0.0;
+  const auto w = data::generate_workload(spec);
+  const PreparedInput out = apply_partial_duplication(w, true);
+  EXPECT_FALSE(out.skew_handled);
+  EXPECT_EQ(out.residual, w.matrix);
+}
+
+TEST(ApplyPartialDuplication, PinsTheSkewedMass) {
+  const auto w = skewed_workload();
+  const PreparedInput out = apply_partial_duplication(w, true);
+  EXPECT_TRUE(out.skew_handled);
+  EXPECT_NEAR(out.pinned_local_bytes, w.skew.skewed_bytes_total(), 1.0);
+  // Residual conservation: original = residual + pinned + broadcast-removed.
+  EXPECT_NEAR(w.matrix.total(),
+              out.residual.total() + out.pinned_local_bytes +
+                  w.skew.broadcast_bytes,
+              1.0);
+}
+
+TEST(ApplyPartialDuplication, HotPartitionShrinksOnly) {
+  const auto w = skewed_workload();
+  const PreparedInput out = apply_partial_duplication(w, true);
+  const std::size_t hot = w.skew.hot_partition;
+  for (std::size_t k = 0; k < w.matrix.partitions(); ++k) {
+    for (std::size_t i = 0; i < w.matrix.nodes(); ++i) {
+      if (k == hot) {
+        EXPECT_LE(out.residual.h(k, i), w.matrix.h(k, i) + 1e-9);
+        EXPECT_GE(out.residual.h(k, i), -1e-9);  // never negative
+      } else {
+        EXPECT_DOUBLE_EQ(out.residual.h(k, i), w.matrix.h(k, i));
+      }
+    }
+  }
+}
+
+TEST(ApplyPartialDuplication, BroadcastFlowsFanOutFromSource) {
+  const auto w = skewed_workload();
+  const PreparedInput out = apply_partial_duplication(w, true);
+  const std::size_t src = w.skew.broadcast_source;
+  const std::size_t n = w.matrix.nodes();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (dst == src) continue;
+    EXPECT_DOUBLE_EQ(out.initial_flows.volume(src, dst),
+                     w.skew.broadcast_bytes);
+  }
+  EXPECT_DOUBLE_EQ(out.initial_flows.traffic(),
+                   w.skew.broadcast_bytes * static_cast<double>(n - 1));
+  // Initial load vectors agree with the flow matrix.
+  EXPECT_DOUBLE_EQ(out.initial_egress[src],
+                   w.skew.broadcast_bytes * static_cast<double>(n - 1));
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (dst == src) continue;
+    EXPECT_DOUBLE_EQ(out.initial_ingress[dst], w.skew.broadcast_bytes);
+  }
+}
+
+TEST(ApplyPartialDuplication, ProblemViewCarriesInitialLoads) {
+  const auto w = skewed_workload();
+  const PreparedInput out = apply_partial_duplication(w, true);
+  const opt::AssignmentProblem p = out.problem();
+  EXPECT_EQ(p.matrix, &out.residual);
+  EXPECT_EQ(p.initial_egress, out.initial_egress);
+  EXPECT_EQ(p.initial_ingress, out.initial_ingress);
+  p.validate();  // must not throw
+}
+
+TEST(ApplyPartialDuplication, BadSkewInfoThrows) {
+  auto w = skewed_workload();
+  w.skew.skewed_bytes_per_node.pop_back();
+  EXPECT_THROW(apply_partial_duplication(w, true), std::invalid_argument);
+  auto w2 = skewed_workload();
+  w2.skew.broadcast_source = 99;
+  EXPECT_THROW(apply_partial_duplication(w2, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::core

@@ -1,0 +1,85 @@
+#include "data/chunk_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::data {
+namespace {
+
+ChunkMatrix sample() {
+  // 2 partitions x 3 nodes.
+  ChunkMatrix m(2, 3);
+  m.set(0, 0, 3.0);
+  m.set(0, 1, 0.0);
+  m.set(0, 2, 1.0);
+  m.set(1, 0, 3.0);
+  m.set(1, 1, 6.0);
+  m.set(1, 2, 0.0);
+  return m;
+}
+
+TEST(ChunkMatrix, RejectsEmptyShapes) {
+  EXPECT_THROW(ChunkMatrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(ChunkMatrix(3, 0), std::invalid_argument);
+}
+
+TEST(ChunkMatrix, AccessorsRoundTrip) {
+  auto m = sample();
+  EXPECT_DOUBLE_EQ(m.h(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.h(1, 1), 6.0);
+  m.add(1, 1, 2.0);
+  EXPECT_DOUBLE_EQ(m.h(1, 1), 8.0);
+  EXPECT_EQ(m.partitions(), 2u);
+  EXPECT_EQ(m.nodes(), 3u);
+}
+
+TEST(ChunkMatrix, PartitionAggregates) {
+  const auto m = sample();
+  EXPECT_DOUBLE_EQ(m.partition_total(0), 4.0);
+  EXPECT_DOUBLE_EQ(m.partition_total(1), 9.0);
+  EXPECT_DOUBLE_EQ(m.partition_max(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.partition_max(1), 6.0);
+  EXPECT_EQ(m.partition_argmax(0), 0u);
+  EXPECT_EQ(m.partition_argmax(1), 1u);
+}
+
+TEST(ChunkMatrix, ArgmaxTiesGoToLowestIndex) {
+  ChunkMatrix m(1, 3);
+  m.set(0, 0, 5.0);
+  m.set(0, 1, 5.0);
+  EXPECT_EQ(m.partition_argmax(0), 0u);
+}
+
+TEST(ChunkMatrix, NodeAndGrandTotals) {
+  const auto m = sample();
+  EXPECT_DOUBLE_EQ(m.node_total(0), 6.0);
+  EXPECT_DOUBLE_EQ(m.node_total(1), 6.0);
+  EXPECT_DOUBLE_EQ(m.node_total(2), 1.0);
+  EXPECT_DOUBLE_EQ(m.total(), 13.0);
+}
+
+TEST(ChunkMatrix, PartitionRowIsContiguousView) {
+  const auto m = sample();
+  const auto row = m.partition_row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 6.0);
+  EXPECT_DOUBLE_EQ(row[2], 0.0);
+}
+
+TEST(ChunkMatrix, EqualityAndDiff) {
+  const auto a = sample();
+  auto b = sample();
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+  b.add(0, 2, 0.5);
+  EXPECT_NE(a, b);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(ChunkMatrix, DiffShapeMismatchThrows) {
+  ChunkMatrix a(2, 3), b(3, 2);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::data

@@ -1,0 +1,99 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "net/io.hpp"
+
+namespace ccf {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(ChunkMatrixIo, ParsesWithHeaderAndInfersShape) {
+  const auto path = temp_path("chunks1.csv");
+  write_file(path, "partition,node,bytes\n0,0,10\n0,2,5\n3,1,7.5\n");
+  const auto m = data::chunk_matrix_from_csv(path);
+  EXPECT_EQ(m.partitions(), 4u);
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_DOUBLE_EQ(m.h(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(m.h(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.h(3, 1), 7.5);
+}
+
+TEST(ChunkMatrixIo, HeaderlessAndExplicitShape) {
+  const auto path = temp_path("chunks2.csv");
+  write_file(path, "1,1,4\n");
+  const auto m = data::chunk_matrix_from_csv(path, 5, 3);
+  EXPECT_EQ(m.partitions(), 5u);
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_DOUBLE_EQ(m.h(1, 1), 4.0);
+}
+
+TEST(ChunkMatrixIo, RepeatedEntriesAccumulate) {
+  const auto path = temp_path("chunks3.csv");
+  write_file(path, "0,0,1\n0,0,2\n");
+  const auto m = data::chunk_matrix_from_csv(path);
+  EXPECT_DOUBLE_EQ(m.h(0, 0), 3.0);
+}
+
+TEST(ChunkMatrixIo, Errors) {
+  const auto path = temp_path("chunks4.csv");
+  write_file(path, "0,0\n");
+  EXPECT_THROW(data::chunk_matrix_from_csv(path), std::invalid_argument);
+  write_file(path, "0,0,-5\n");
+  EXPECT_THROW(data::chunk_matrix_from_csv(path), std::invalid_argument);
+  write_file(path, "9,0,1\n");
+  EXPECT_THROW(data::chunk_matrix_from_csv(path, 5, 3), std::invalid_argument);
+}
+
+TEST(ChunkMatrixIo, RoundTrip) {
+  data::ChunkMatrix m(3, 2);
+  m.set(0, 0, 1.25);
+  m.set(2, 1, 9.0);
+  const auto path = temp_path("chunks5.csv");
+  data::chunk_matrix_to_csv(m, path);
+  const auto back = data::chunk_matrix_from_csv(path, 3, 2);
+  EXPECT_EQ(back, m);
+}
+
+TEST(FlowMatrixIo, ParsesAndInfersNodes) {
+  const auto path = temp_path("flows1.csv");
+  write_file(path, "src,dst,bytes\n0,1,100\n2,0,50\n");
+  const auto m = net::flow_matrix_from_csv(path);
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_DOUBLE_EQ(m.volume(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(m.volume(2, 0), 50.0);
+  EXPECT_DOUBLE_EQ(m.traffic(), 150.0);
+}
+
+TEST(FlowMatrixIo, Errors) {
+  const auto path = temp_path("flows2.csv");
+  write_file(path, "0,0,5\n");
+  EXPECT_THROW(net::flow_matrix_from_csv(path), std::invalid_argument);
+  write_file(path, "0,1,-5\n");
+  EXPECT_THROW(net::flow_matrix_from_csv(path), std::invalid_argument);
+  write_file(path, "0,7,5\n");
+  EXPECT_THROW(net::flow_matrix_from_csv(path, 4), std::invalid_argument);
+}
+
+TEST(FlowMatrixIo, RoundTrip) {
+  net::FlowMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(1, 2, 0.5);
+  const auto path = temp_path("flows3.csv");
+  net::flow_matrix_to_csv(m, path);
+  const auto back = net::flow_matrix_from_csv(path, 3);
+  EXPECT_EQ(back, m);
+}
+
+}  // namespace
+}  // namespace ccf

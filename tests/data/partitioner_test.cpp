@@ -1,0 +1,68 @@
+#include "data/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/tpch.hpp"
+
+namespace ccf::data {
+namespace {
+
+TEST(PartitionOf, IsKeyModP) {
+  EXPECT_EQ(partition_of(0, 5), 0u);
+  EXPECT_EQ(partition_of(7, 5), 2u);
+  EXPECT_EQ(partition_of(5, 5), 0u);
+  EXPECT_EQ(partition_of(1, 6), 1u);  // paper Fig. 1 keys
+  EXPECT_EQ(partition_of(5, 6), 5u);
+}
+
+TEST(BuildChunkMatrix, ConservesBytes) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.nodes = 3;
+  const auto rel = generate_orders(cfg);
+  const auto m = build_chunk_matrix(rel, 45);
+  EXPECT_EQ(m.partitions(), 45u);
+  EXPECT_EQ(m.nodes(), 3u);
+  EXPECT_DOUBLE_EQ(m.total(), static_cast<double>(rel.total_bytes()));
+}
+
+TEST(BuildChunkMatrix, NodeTotalsMatchShards) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.nodes = 4;
+  const auto rel = generate_orders(cfg);
+  const auto m = build_chunk_matrix(rel, 60);
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    EXPECT_DOUBLE_EQ(m.node_total(node),
+                     static_cast<double>(rel.shard(node).bytes()));
+  }
+}
+
+TEST(BuildChunkMatrix, TuplesLandInKeyModPRow) {
+  DistributedRelation rel("r", 2);
+  rel.shard(0).add(Tuple{10, 100});  // partition 10 % 4 = 2
+  rel.shard(1).add(Tuple{5, 200});   // partition 1
+  const auto m = build_chunk_matrix(rel, 4);
+  EXPECT_DOUBLE_EQ(m.h(2, 0), 100.0);
+  EXPECT_DOUBLE_EQ(m.h(1, 1), 200.0);
+  EXPECT_DOUBLE_EQ(m.h(0, 0), 0.0);
+}
+
+TEST(BuildChunkMatrix, TwoRelationsSumPerPartition) {
+  DistributedRelation r("R", 2), s("S", 2);
+  r.shard(0).add(Tuple{3, 100});
+  s.shard(0).add(Tuple{3, 50});
+  s.shard(1).add(Tuple{3, 25});
+  const auto m = build_chunk_matrix(r, s, 5);
+  EXPECT_DOUBLE_EQ(m.h(3, 0), 150.0);
+  EXPECT_DOUBLE_EQ(m.h(3, 1), 25.0);
+  EXPECT_DOUBLE_EQ(m.total(), 175.0);
+}
+
+TEST(BuildChunkMatrix, MismatchedClustersThrow) {
+  DistributedRelation r("R", 2), s("S", 3);
+  EXPECT_THROW(build_chunk_matrix(r, s, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::data

@@ -1,0 +1,55 @@
+#include "data/relation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::data {
+namespace {
+
+TEST(Shard, TracksBytesAndSize) {
+  Shard s;
+  EXPECT_TRUE(s.empty());
+  s.add(Tuple{1, 100});
+  s.add(Tuple{2, 250});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.bytes(), 350u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Shard, RecountAfterMutation) {
+  Shard s;
+  s.add(Tuple{1, 100});
+  s.add(Tuple{2, 200});
+  s.mutable_tuples()[0].payload_bytes = 50;
+  s.recount();
+  EXPECT_EQ(s.bytes(), 250u);
+}
+
+TEST(DistributedRelation, RejectsZeroNodes) {
+  EXPECT_THROW(DistributedRelation("r", 0), std::invalid_argument);
+}
+
+TEST(DistributedRelation, AggregatesAcrossShards) {
+  DistributedRelation rel("r", 3);
+  rel.shard(0).add(Tuple{1, 10});
+  rel.shard(1).add(Tuple{2, 20});
+  rel.shard(1).add(Tuple{3, 30});
+  EXPECT_EQ(rel.node_count(), 3u);
+  EXPECT_EQ(rel.tuple_count(), 3u);
+  EXPECT_EQ(rel.total_bytes(), 60u);
+  EXPECT_EQ(rel.name(), "r");
+  EXPECT_TRUE(rel.shard(2).empty());
+}
+
+TEST(DistributedRelation, ShardAccessOutOfRangeThrows) {
+  DistributedRelation rel("r", 2);
+  EXPECT_THROW(rel.shard(2), std::out_of_range);
+}
+
+TEST(Tuple, EqualityIsMemberwise) {
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{2, 2}));
+}
+
+}  // namespace
+}  // namespace ccf::data

@@ -1,0 +1,77 @@
+#include "data/skew.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/tpch.hpp"
+
+namespace ccf::data {
+namespace {
+
+DistributedRelation make_orders() {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.02;  // 30000 orders
+  cfg.nodes = 5;
+  cfg.seed = 3;
+  return generate_orders(cfg);
+}
+
+TEST(InjectSkew, FractionZeroRewritesNothing) {
+  auto rel = make_orders();
+  util::Pcg32 rng(1, 1);
+  const auto before = count_key(rel, 1);
+  EXPECT_EQ(inject_skew(rel, 0.0, 1, rng), 0u);
+  EXPECT_EQ(count_key(rel, 1), before);
+}
+
+TEST(InjectSkew, FractionOneRewritesEverything) {
+  auto rel = make_orders();
+  util::Pcg32 rng(1, 1);
+  const auto total = rel.tuple_count();
+  EXPECT_EQ(inject_skew(rel, 1.0, 42, rng), total);
+  EXPECT_EQ(count_key(rel, 42), total);
+}
+
+TEST(InjectSkew, FractionApproximatelyRespected) {
+  auto rel = make_orders();
+  util::Pcg32 rng(9, 2);
+  const auto total = rel.tuple_count();
+  const auto rewritten = inject_skew(rel, 0.2, 1, rng);
+  // Binomial(30000, 0.2): 5 sigma ≈ 346.
+  EXPECT_NEAR(static_cast<double>(rewritten), 0.2 * static_cast<double>(total),
+              350.0);
+  EXPECT_GE(count_key(rel, 1), rewritten);  // plus pre-existing key-1 tuples
+}
+
+TEST(InjectSkew, OnlyKeysChangeNotPayloadOrPlacement) {
+  auto rel = make_orders();
+  const auto bytes_before = rel.total_bytes();
+  std::vector<std::size_t> sizes_before;
+  for (std::size_t i = 0; i < rel.node_count(); ++i) {
+    sizes_before.push_back(rel.shard(i).size());
+  }
+  util::Pcg32 rng(4, 4);
+  inject_skew(rel, 0.3, 1, rng);
+  EXPECT_EQ(rel.total_bytes(), bytes_before);
+  for (std::size_t i = 0; i < rel.node_count(); ++i) {
+    EXPECT_EQ(rel.shard(i).size(), sizes_before[i]);
+  }
+}
+
+TEST(InjectSkew, RejectsBadFraction) {
+  auto rel = make_orders();
+  util::Pcg32 rng(1, 1);
+  EXPECT_THROW(inject_skew(rel, -0.1, 1, rng), std::invalid_argument);
+  EXPECT_THROW(inject_skew(rel, 1.1, 1, rng), std::invalid_argument);
+}
+
+TEST(CountKey, CountsAcrossShards) {
+  DistributedRelation rel("r", 2);
+  rel.shard(0).add(Tuple{7, 1});
+  rel.shard(0).add(Tuple{8, 1});
+  rel.shard(1).add(Tuple{7, 1});
+  EXPECT_EQ(count_key(rel, 7), 2u);
+  EXPECT_EQ(count_key(rel, 9), 0u);
+}
+
+}  // namespace
+}  // namespace ccf::data

@@ -1,0 +1,139 @@
+#include "data/tpch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ccf::data {
+namespace {
+
+TpchConfig small_config() {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;  // 1500 customers, 15000 orders
+  cfg.nodes = 4;
+  cfg.zipf_theta = 0.8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(TpchConfig, RowCountsMatchSpec) {
+  TpchConfig cfg;
+  cfg.scale_factor = 600.0;  // the paper's setting
+  EXPECT_EQ(cfg.customer_rows(), 90'000'000u);
+  EXPECT_EQ(cfg.orders_rows(), 900'000'000u);
+}
+
+TEST(GenerateCustomer, OneTuplePerKey) {
+  const auto cfg = small_config();
+  const auto rel = generate_customer(cfg);
+  EXPECT_EQ(rel.tuple_count(), cfg.customer_rows());
+  std::set<std::uint64_t> keys;
+  for (std::size_t node = 0; node < rel.node_count(); ++node) {
+    for (const Tuple& t : rel.shard(node).tuples()) {
+      EXPECT_TRUE(keys.insert(t.key).second) << "duplicate key " << t.key;
+      EXPECT_GE(t.key, 1u);
+      EXPECT_LE(t.key, cfg.customer_rows());
+      EXPECT_EQ(t.payload_bytes, cfg.payload_bytes);
+    }
+  }
+  EXPECT_EQ(keys.size(), cfg.customer_rows());
+}
+
+TEST(GenerateOrders, KeysInCustomerDomain) {
+  const auto cfg = small_config();
+  const auto rel = generate_orders(cfg);
+  EXPECT_EQ(rel.tuple_count(), cfg.orders_rows());
+  for (std::size_t node = 0; node < rel.node_count(); ++node) {
+    for (const Tuple& t : rel.shard(node).tuples()) {
+      EXPECT_GE(t.key, 1u);
+      EXPECT_LE(t.key, cfg.customer_rows());
+    }
+  }
+}
+
+TEST(GenerateOrders, TotalBytesMatchPayload) {
+  const auto cfg = small_config();
+  const auto rel = generate_orders(cfg);
+  EXPECT_EQ(rel.total_bytes(),
+            static_cast<std::uint64_t>(cfg.orders_rows()) * cfg.payload_bytes);
+}
+
+TEST(Generators, AreDeterministic) {
+  const auto cfg = small_config();
+  const auto a = generate_orders(cfg);
+  const auto b = generate_orders(cfg);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t node = 0; node < a.node_count(); ++node) {
+    EXPECT_EQ(a.shard(node).tuples(), b.shard(node).tuples());
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate_orders(cfg);
+  cfg.seed = 8;
+  const auto b = generate_orders(cfg);
+  bool any_diff = false;
+  for (std::size_t node = 0; node < a.node_count() && !any_diff; ++node) {
+    any_diff = a.shard(node).tuples() != b.shard(node).tuples();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, AlignedZipfConcentratesOnNodeZero) {
+  auto cfg = small_config();
+  cfg.zipf_theta = 1.0;
+  const auto rel = generate_orders(cfg);
+  // Node 0 (rank 1) must hold strictly more than the last node.
+  EXPECT_GT(rel.shard(0).size(), rel.shard(cfg.nodes - 1).size());
+  // And roughly the zipf share: w_0 = 1/H_4(1.0) = 0.48.
+  const double share = static_cast<double>(rel.shard(0).size()) /
+                       static_cast<double>(rel.tuple_count());
+  // (ratio of counts; both casts above keep -Wconversion quiet)
+  EXPECT_NEAR(share, 0.48, 0.05);
+}
+
+TEST(Generators, ThetaZeroIsBalanced) {
+  auto cfg = small_config();
+  cfg.zipf_theta = 0.0;
+  const auto rel = generate_orders(cfg);
+  const double expected = static_cast<double>(rel.tuple_count()) /
+                          static_cast<double>(cfg.nodes);
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    EXPECT_NEAR(static_cast<double>(rel.shard(node).size()), expected,
+                0.1 * expected);
+  }
+}
+
+TEST(Generators, RejectInvalidConfig) {
+  TpchConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(generate_customer(cfg), std::invalid_argument);
+  cfg = TpchConfig{};
+  cfg.scale_factor = 0.0;
+  EXPECT_THROW(generate_orders(cfg), std::invalid_argument);
+  cfg.scale_factor = 1e-9;  // rounds to zero customers
+  EXPECT_THROW(generate_customer(cfg), std::invalid_argument);
+}
+
+TEST(GenerateOrders, SparseCustomersSkipKeysDivisibleByThree) {
+  auto cfg = small_config();
+  cfg.sparse_customers = true;
+  const auto rel = generate_orders(cfg);
+  EXPECT_EQ(rel.tuple_count(), cfg.orders_rows());
+  for (std::size_t node = 0; node < rel.node_count(); ++node) {
+    for (const Tuple& t : rel.shard(node).tuples()) {
+      EXPECT_NE(t.key % 3, 0u) << "key " << t.key;
+      EXPECT_GE(t.key, 1u);
+      EXPECT_LE(t.key, cfg.customer_rows());
+    }
+  }
+}
+
+TEST(ExpectedJoinCardinality, EqualsOrdersRows) {
+  const auto cfg = small_config();
+  EXPECT_EQ(expected_join_cardinality(cfg), cfg.orders_rows());
+}
+
+}  // namespace
+}  // namespace ccf::data

@@ -1,0 +1,194 @@
+#include "data/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/partitioner.hpp"
+#include "data/skew.hpp"
+#include "data/tpch.hpp"
+#include "util/zipf.hpp"
+
+namespace ccf::data {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec s;
+  s.nodes = 8;
+  s.partitions = 120;
+  s.customer_bytes = 9e6;
+  s.orders_bytes = 90e6;
+  s.zipf_theta = 0.8;
+  s.skew = 0.2;
+  s.seed = 11;
+  return s;
+}
+
+TEST(PaperDefault, MatchesPaperSetup) {
+  const auto s = WorkloadSpec::paper_default(500);
+  EXPECT_EQ(s.nodes, 500u);
+  EXPECT_EQ(s.partitions, 7500u);  // p = 15 n
+  EXPECT_DOUBLE_EQ(s.customer_bytes, 90e9);
+  EXPECT_DOUBLE_EQ(s.orders_bytes, 900e9);
+  EXPECT_DOUBLE_EQ(s.zipf_theta, 0.8);
+  EXPECT_DOUBLE_EQ(s.skew, 0.2);
+  EXPECT_NEAR(s.total_bytes(), 990e9, 1.0);  // ~1 TB input
+}
+
+TEST(GenerateWorkload, ConservesTotalBytes) {
+  const auto w = generate_workload(small_spec());
+  EXPECT_NEAR(w.matrix.total(), small_spec().total_bytes(), 1.0);
+}
+
+TEST(GenerateWorkload, ShapeMatchesSpec) {
+  const auto w = generate_workload(small_spec());
+  EXPECT_EQ(w.matrix.partitions(), 120u);
+  EXPECT_EQ(w.matrix.nodes(), 8u);
+}
+
+TEST(GenerateWorkload, AlignedRanksPutLargestChunkOnNodeZero) {
+  auto spec = small_spec();
+  spec.skew = 0.0;  // skew mass also lands on node 0; disable to isolate
+  const auto w = generate_workload(spec);
+  for (std::size_t k = 0; k < w.matrix.partitions(); ++k) {
+    EXPECT_EQ(w.matrix.partition_argmax(k), 0u) << "partition " << k;
+  }
+}
+
+TEST(GenerateWorkload, PartitionSplitFollowsZipfWeights) {
+  auto spec = small_spec();
+  spec.skew = 0.0;
+  spec.jitter = 0.0;
+  const auto w = generate_workload(spec);
+  const auto weights = util::zipf_weights(spec.nodes, spec.zipf_theta);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double total = w.matrix.partition_total(k);
+    for (std::size_t i = 0; i < spec.nodes; ++i) {
+      EXPECT_NEAR(w.matrix.h(k, i), total * weights[i], total * 1e-9);
+    }
+  }
+}
+
+TEST(GenerateWorkload, UnalignedRanksSpreadMaxima) {
+  auto spec = small_spec();
+  spec.skew = 0.0;
+  spec.align_zipf_ranks = false;
+  const auto w = generate_workload(spec);
+  std::size_t on_node0 = 0;
+  for (std::size_t k = 0; k < w.matrix.partitions(); ++k) {
+    if (w.matrix.partition_argmax(k) == 0) ++on_node0;
+  }
+  // With random permutations ~1/8 of maxima land on node 0, not all of them.
+  EXPECT_LT(on_node0, w.matrix.partitions() / 2);
+  EXPECT_NEAR(w.matrix.total(), spec.total_bytes(), 1.0);
+}
+
+TEST(GenerateWorkload, SkewInfoDescribesHotPartition) {
+  const auto spec = small_spec();
+  const auto w = generate_workload(spec);
+  EXPECT_TRUE(w.skew.present);
+  EXPECT_EQ(w.skew.hot_key, 1u);
+  EXPECT_EQ(w.skew.hot_partition, 1u % spec.partitions);
+  EXPECT_NEAR(w.skew.skewed_bytes_total(), spec.orders_bytes * spec.skew, 1.0);
+  EXPECT_DOUBLE_EQ(w.skew.broadcast_bytes, spec.payload_bytes);
+}
+
+TEST(GenerateWorkload, HotPartitionCarriesTheSkewMass) {
+  const auto spec = small_spec();
+  const auto w = generate_workload(spec);
+  const double hot = w.matrix.partition_total(w.skew.hot_partition);
+  const double avg =
+      (w.matrix.total() - hot) / static_cast<double>(spec.partitions - 1);
+  // 20% of orders in one partition of 120 makes it vastly larger than average.
+  EXPECT_GT(hot, 10.0 * avg);
+}
+
+TEST(GenerateWorkload, NoSkewMeansNoSkewInfo) {
+  auto spec = small_spec();
+  spec.skew = 0.0;
+  const auto w = generate_workload(spec);
+  EXPECT_FALSE(w.skew.present);
+}
+
+TEST(GenerateWorkload, DeterministicPerSeed) {
+  const auto a = generate_workload(small_spec());
+  const auto b = generate_workload(small_spec());
+  EXPECT_EQ(a.matrix, b.matrix);
+  auto spec = small_spec();
+  spec.seed = 12;
+  const auto c = generate_workload(spec);
+  EXPECT_NE(a.matrix, c.matrix);
+}
+
+TEST(GenerateWorkload, RejectsBadSpecs) {
+  auto spec = small_spec();
+  spec.nodes = 0;
+  EXPECT_THROW(generate_workload(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.skew = 1.5;
+  EXPECT_THROW(generate_workload(spec), std::invalid_argument);
+}
+
+TEST(WorkloadFromTuples, MatchesDirectCounts) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.nodes = 4;
+  cfg.seed = 5;
+  auto customer = generate_customer(cfg);
+  auto orders = generate_orders(cfg);
+  util::Pcg32 rng(21, 6);
+  inject_skew(orders, 0.25, 1, rng);
+
+  const auto w = workload_from_tuples(customer, orders, 60, 1);
+  EXPECT_TRUE(w.skew.present);
+  EXPECT_EQ(w.skew.hot_partition, 1u);
+  EXPECT_NEAR(w.spec.skew, 0.25, 0.02);
+  // Skewed bytes per node must equal hot-key orders bytes per node.
+  for (std::size_t node = 0; node < cfg.nodes; ++node) {
+    double hot_bytes = 0.0;
+    for (const Tuple& t : orders.shard(node).tuples()) {
+      if (t.key == 1) hot_bytes += t.payload_bytes;
+    }
+    EXPECT_DOUBLE_EQ(w.skew.skewed_bytes_per_node[node], hot_bytes);
+  }
+  // One customer tuple carries key 1.
+  EXPECT_DOUBLE_EQ(w.skew.broadcast_bytes, cfg.payload_bytes);
+  // Matrix is the partitioned union of both relations.
+  const auto expected = build_chunk_matrix(customer, orders, 60);
+  EXPECT_EQ(w.matrix, expected);
+}
+
+TEST(WorkloadFromTuples, AnalyticAndTupleNodeTotalsAgree) {
+  // The tuple generator and analytic generator share distributions, so
+  // per-node byte totals should agree within sampling noise.
+  TpchConfig cfg;
+  cfg.scale_factor = 0.05;  // 7500 customers, 75000 orders
+  cfg.nodes = 6;
+  cfg.zipf_theta = 0.8;
+  cfg.seed = 9;
+  const auto customer = generate_customer(cfg);
+  const auto orders = generate_orders(cfg);
+  const auto tuple_w = workload_from_tuples(customer, orders, 90, 1);
+
+  WorkloadSpec spec;
+  spec.nodes = 6;
+  spec.partitions = 90;
+  spec.customer_bytes = static_cast<double>(customer.total_bytes());
+  spec.orders_bytes = static_cast<double>(orders.total_bytes());
+  spec.zipf_theta = 0.8;
+  spec.skew = 0.0;
+  const auto analytic_w = generate_workload(spec);
+
+  EXPECT_NEAR(tuple_w.matrix.total(), analytic_w.matrix.total(), 1.0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double a = tuple_w.matrix.node_total(i);
+    const double b = analytic_w.matrix.node_total(i);
+    EXPECT_NEAR(a, b, 0.05 * analytic_w.matrix.total()) << "node " << i;
+  }
+}
+
+TEST(WorkloadFromTuples, MismatchedClustersThrow) {
+  DistributedRelation r("R", 2), s("S", 3);
+  EXPECT_THROW(workload_from_tuples(r, s, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::data

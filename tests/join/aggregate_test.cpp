@@ -1,0 +1,170 @@
+#include "join/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/tpch.hpp"
+#include "join/flows.hpp"
+#include "join/schedulers.hpp"
+#include "net/metrics.hpp"
+
+namespace ccf::join {
+namespace {
+
+data::DistributedRelation make_input() {
+  data::TpchConfig cfg;
+  cfg.scale_factor = 0.01;  // 15000 orders over ~1500 keys
+  cfg.nodes = 4;
+  cfg.seed = 31;
+  return generate_orders(cfg);
+}
+
+constexpr std::size_t kPartitions = 60;
+constexpr std::uint32_t kRecordBytes = 16;  // (key, count) combiner record
+
+TEST(AggregationChunkMatrix, RawModeMatchesJoinPartitioning) {
+  const auto input = make_input();
+  const auto m = aggregation_chunk_matrix(input, kPartitions, false, kRecordBytes);
+  EXPECT_DOUBLE_EQ(m.total(), static_cast<double>(input.total_bytes()));
+}
+
+TEST(AggregationChunkMatrix, CombinerShrinksChunks) {
+  const auto input = make_input();
+  const auto raw = aggregation_chunk_matrix(input, kPartitions, false, kRecordBytes);
+  const auto combined =
+      aggregation_chunk_matrix(input, kPartitions, true, kRecordBytes);
+  EXPECT_LT(combined.total(), raw.total());
+  // Combined total = sum over nodes of distinct keys x record size.
+  double expected = 0.0;
+  for (std::size_t node = 0; node < input.node_count(); ++node) {
+    std::unordered_set<std::uint64_t> keys;
+    for (const data::Tuple& t : input.shard(node).tuples()) keys.insert(t.key);
+    expected += static_cast<double>(keys.size()) * kRecordBytes;
+  }
+  EXPECT_DOUBLE_EQ(combined.total(), expected);
+}
+
+TEST(DistributedAggregation, CountsMatchReferenceForEveryScheduler) {
+  const auto input = make_input();
+  const auto truth = reference_group_counts(input);
+  const auto m = aggregation_chunk_matrix(input, kPartitions, false, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  for (const char* name : {"hash", "mini", "ccf", "random"}) {
+    const auto dest = make_scheduler(name)->schedule(prob);
+    for (const bool combine : {false, true}) {
+      const auto r = execute_distributed_aggregation(input, kPartitions, dest,
+                                                     combine, kRecordBytes);
+      EXPECT_EQ(r.group_counts.size(), truth.size()) << name;
+      for (const auto& [key, count] : truth) {
+        const auto it = r.group_counts.find(key);
+        ASSERT_NE(it, r.group_counts.end()) << name << " key " << key;
+        EXPECT_EQ(it->second, count) << name << " key " << key;
+      }
+    }
+  }
+}
+
+TEST(DistributedAggregation, EachGroupFinalizedOnExactlyOneNode) {
+  const auto input = make_input();
+  const auto m = aggregation_chunk_matrix(input, kPartitions, true, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const auto dest = CcfScheduler().schedule(prob);
+  const auto r = execute_distributed_aggregation(input, kPartitions, dest, true,
+                                                 kRecordBytes);
+  std::size_t total_groups = 0;
+  for (const auto g : r.groups_per_node) total_groups += g;
+  EXPECT_EQ(total_groups, r.group_counts.size());
+}
+
+TEST(DistributedAggregation, CombinerReducesTraffic) {
+  const auto input = make_input();
+  const auto m = aggregation_chunk_matrix(input, kPartitions, false, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const auto dest = HashScheduler().schedule(prob);
+  const auto raw = execute_distributed_aggregation(input, kPartitions, dest,
+                                                   false, kRecordBytes);
+  const auto combined = execute_distributed_aggregation(input, kPartitions, dest,
+                                                        true, kRecordBytes);
+  EXPECT_LT(combined.flows.traffic(), 0.1 * raw.flows.traffic());
+}
+
+TEST(DistributedAggregation, MeasuredFlowsMatchChunkMatrix) {
+  // The analytic chunk matrix drives scheduling; the executor must move
+  // exactly the bytes the matrix predicts, in both modes.
+  const auto input = make_input();
+  for (const bool combine : {false, true}) {
+    const auto m =
+        aggregation_chunk_matrix(input, kPartitions, combine, kRecordBytes);
+    AssignmentProblem prob;
+    prob.matrix = &m;
+    const auto dest = CcfScheduler().schedule(prob);
+    const auto r = execute_distributed_aggregation(input, kPartitions, dest,
+                                                   combine, kRecordBytes);
+    const auto analytic = assignment_flows(m, dest);
+    EXPECT_NEAR(r.flows.traffic(), analytic.traffic(), 1e-6) << combine;
+  }
+}
+
+TEST(DistributedAggregation, CoOptimizationOrderingHolds) {
+  // CCF's placement of the combiner shuffle beats Hash's and Mini's Γ.
+  const auto input = make_input();
+  const auto m = aggregation_chunk_matrix(input, kPartitions, true, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const net::Fabric fabric(input.node_count(), 1e6);
+  auto gamma_of = [&](const char* name) {
+    const auto dest = make_scheduler(name)->schedule(prob);
+    return net::gamma_bound(assignment_flows(m, dest), fabric);
+  };
+  const double ccf = gamma_of("ccf");
+  EXPECT_LE(ccf, gamma_of("hash") + 1e-12);
+  EXPECT_LE(ccf, gamma_of("mini") + 1e-12);
+}
+
+TEST(DistributedDistinct, CountMatchesReferenceForEveryScheduler) {
+  const auto input = make_input();
+  const auto truth = reference_distinct_count(input);
+  const auto m = aggregation_chunk_matrix(input, kPartitions, true, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  for (const char* name : {"hash", "mini", "ccf"}) {
+    const auto dest = make_scheduler(name)->schedule(prob);
+    for (const bool dedup : {false, true}) {
+      const auto r = execute_distributed_distinct(input, kPartitions, dest,
+                                                  dedup, kRecordBytes);
+      EXPECT_EQ(r.distinct_keys, truth) << name << " dedup=" << dedup;
+    }
+  }
+}
+
+TEST(DistributedDistinct, LocalDedupReducesTraffic) {
+  const auto input = make_input();
+  const auto m = aggregation_chunk_matrix(input, kPartitions, false, kRecordBytes);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const auto dest = HashScheduler().schedule(prob);
+  const auto raw = execute_distributed_distinct(input, kPartitions, dest, false,
+                                                kRecordBytes);
+  const auto dedup = execute_distributed_distinct(input, kPartitions, dest, true,
+                                                  kRecordBytes);
+  EXPECT_LT(dedup.flows.traffic(), raw.flows.traffic());
+}
+
+TEST(Operators, RejectInvalidAssignments) {
+  const auto input = make_input();
+  std::vector<std::uint32_t> wrong_size(kPartitions + 1, 0);
+  EXPECT_THROW(execute_distributed_aggregation(input, kPartitions, wrong_size,
+                                               false, kRecordBytes),
+               std::invalid_argument);
+  std::vector<std::uint32_t> out_of_range(kPartitions, 99);
+  EXPECT_THROW(execute_distributed_distinct(input, kPartitions, out_of_range,
+                                            false, kRecordBytes),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::join

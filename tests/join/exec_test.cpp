@@ -1,0 +1,145 @@
+#include "join/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/partitioner.hpp"
+#include "data/skew.hpp"
+#include "data/tpch.hpp"
+#include "join/flows.hpp"
+#include "join/local_join.hpp"
+#include "join/schedulers.hpp"
+
+namespace ccf::join {
+namespace {
+
+struct TestData {
+  data::DistributedRelation customer;
+  data::DistributedRelation orders;
+  std::size_t partitions;
+};
+
+TestData make_data(double skew_fraction = 0.0) {
+  data::TpchConfig cfg;
+  cfg.scale_factor = 0.01;  // 1500 customers, 15000 orders
+  cfg.nodes = 4;
+  cfg.seed = 13;
+  auto customer = generate_customer(cfg);
+  auto orders = generate_orders(cfg);
+  if (skew_fraction > 0.0) {
+    util::Pcg32 rng(99, 1);
+    data::inject_skew(orders, skew_fraction, 1, rng);
+  }
+  return TestData{std::move(customer), std::move(orders), 60};
+}
+
+TEST(ExecuteDistributedJoin, EveryPlacementGivesTheSameCorrectResult) {
+  const auto d = make_data();
+  const auto truth = reference_join_cardinality(d.customer, d.orders);
+  const auto matrix =
+      data::build_chunk_matrix(d.customer, d.orders, d.partitions);
+  AssignmentProblem prob;
+  prob.matrix = &matrix;
+  for (const char* name : {"hash", "mini", "ccf", "random"}) {
+    const Assignment dest = make_scheduler(name)->schedule(prob);
+    const auto r =
+        execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+    EXPECT_EQ(r.result_tuples, truth) << name;
+  }
+}
+
+TEST(ExecuteDistributedJoin, MeasuredFlowsMatchAnalyticFlows) {
+  const auto d = make_data();
+  const auto matrix =
+      data::build_chunk_matrix(d.customer, d.orders, d.partitions);
+  AssignmentProblem prob;
+  prob.matrix = &matrix;
+  const Assignment dest = CcfScheduler().schedule(prob);
+  const auto r =
+      execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+  const net::FlowMatrix analytic = assignment_flows(matrix, dest);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;  // executor does not track local volumes
+      EXPECT_DOUBLE_EQ(r.flows.volume(i, j), analytic.volume(i, j))
+          << i << "->" << j;
+    }
+  }
+}
+
+TEST(ExecuteDistributedJoin, ResultPerNodeSumsToTotal) {
+  const auto d = make_data();
+  const auto matrix =
+      data::build_chunk_matrix(d.customer, d.orders, d.partitions);
+  AssignmentProblem prob;
+  prob.matrix = &matrix;
+  const Assignment dest = HashScheduler().schedule(prob);
+  const auto r =
+      execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+  std::uint64_t sum = 0;
+  for (const auto c : r.result_per_node) sum += c;
+  EXPECT_EQ(sum, r.result_tuples);
+}
+
+TEST(ExecuteDistributedJoin, PartialDuplicationPreservesResult) {
+  const auto d = make_data(0.3);
+  const auto truth = reference_join_cardinality(d.customer, d.orders);
+  const auto w =
+      data::workload_from_tuples(d.customer, d.orders, d.partitions, 1);
+  ASSERT_TRUE(w.skew.present);
+  AssignmentProblem prob;
+  prob.matrix = &w.matrix;
+  const Assignment dest = CcfScheduler().schedule(prob);
+  const auto plain =
+      execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+  const auto dedup = execute_distributed_join(d.customer, d.orders,
+                                              d.partitions, dest, &w.skew);
+  EXPECT_EQ(plain.result_tuples, truth);
+  EXPECT_EQ(dedup.result_tuples, truth);
+}
+
+TEST(ExecuteDistributedJoin, PartialDuplicationSlashesTraffic) {
+  const auto d = make_data(0.3);
+  const auto w =
+      data::workload_from_tuples(d.customer, d.orders, d.partitions, 1);
+  AssignmentProblem prob;
+  prob.matrix = &w.matrix;
+  const Assignment dest = MiniScheduler().schedule(prob);
+  const auto plain =
+      execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+  const auto dedup = execute_distributed_join(d.customer, d.orders,
+                                              d.partitions, dest, &w.skew);
+  // 30% of orders stay local: traffic must drop substantially.
+  EXPECT_LT(dedup.flows.traffic(), plain.flows.traffic() * 0.9);
+}
+
+TEST(ExecuteDistributedJoin, SkewAbsentSkewInfoIsNoop) {
+  const auto d = make_data();
+  const auto matrix =
+      data::build_chunk_matrix(d.customer, d.orders, d.partitions);
+  AssignmentProblem prob;
+  prob.matrix = &matrix;
+  const Assignment dest = HashScheduler().schedule(prob);
+  data::SkewInfo no_skew;  // present = false
+  const auto a =
+      execute_distributed_join(d.customer, d.orders, d.partitions, dest);
+  const auto b = execute_distributed_join(d.customer, d.orders, d.partitions,
+                                          dest, &no_skew);
+  EXPECT_EQ(a.result_tuples, b.result_tuples);
+  EXPECT_EQ(a.flows, b.flows);
+}
+
+TEST(ExecuteDistributedJoin, Errors) {
+  const auto d = make_data();
+  std::vector<std::uint32_t> bad(d.partitions + 1, 0);
+  EXPECT_THROW(
+      execute_distributed_join(d.customer, d.orders, d.partitions, bad),
+      std::invalid_argument);
+  data::DistributedRelation other("X", 5);
+  std::vector<std::uint32_t> dest(d.partitions, 0);
+  EXPECT_THROW(
+      execute_distributed_join(d.customer, other, d.partitions, dest),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::join

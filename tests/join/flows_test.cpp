@@ -1,0 +1,69 @@
+#include "join/flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "opt/model.hpp"
+#include "testing/paper_example.hpp"
+
+namespace ccf::join {
+namespace {
+
+TEST(AssignmentFlows, PaperSp1Matrix) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto sp1 = testing::paper_sp1();
+  const net::FlowMatrix flows = assignment_flows(m, sp1);
+  // Fig. 2(c): p1->p2 3, p2->p1 2, p2->p3 1, p3->p1 1.
+  EXPECT_DOUBLE_EQ(flows.volume(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(flows.volume(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(flows.volume(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(flows.volume(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(flows.traffic(), testing::kTrafficSp1);
+}
+
+TEST(AssignmentFlows, LocalChunksLandOnDiagonal) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto sp1 = testing::paper_sp1();
+  const net::FlowMatrix flows = assignment_flows(m, sp1);
+  EXPECT_DOUBLE_EQ(flows.volume(0, 0), 3.0 + 1.0);  // key0 + key2 stay local
+  EXPECT_DOUBLE_EQ(flows.volume(1, 1), 6.0);        // key1's big chunk
+  EXPECT_DOUBLE_EQ(flows.volume(2, 2), 2.0);        // key5's big chunk
+}
+
+TEST(AssignmentFlows, TrafficAgreesWithModel) {
+  const auto m = testing::paper_chunk_matrix();
+  opt::AssignmentProblem p;
+  p.matrix = &m;
+  for (const auto& dest :
+       {testing::paper_sp0(), testing::paper_sp1(), testing::paper_sp2()}) {
+    const net::FlowMatrix flows = assignment_flows(m, dest);
+    EXPECT_DOUBLE_EQ(flows.traffic(), opt::traffic(p, dest));
+    // And the port-load bottleneck equals the model's makespan T.
+    EXPECT_DOUBLE_EQ(net::port_loads(flows).bottleneck(),
+                     opt::makespan(p, dest));
+  }
+}
+
+TEST(AssignmentFlows, InitialFlowsAreAdded) {
+  const auto m = testing::paper_chunk_matrix();
+  net::FlowMatrix initial(3);
+  initial.set(2, 1, 5.0);
+  const auto sp1 = testing::paper_sp1();
+  const net::FlowMatrix flows = assignment_flows(m, sp1, initial);
+  EXPECT_DOUBLE_EQ(flows.volume(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(flows.traffic(), testing::kTrafficSp1 + 5.0);
+}
+
+TEST(AssignmentFlows, Errors) {
+  const auto m = testing::paper_chunk_matrix();
+  std::vector<std::uint32_t> bad_size = {0, 1};
+  EXPECT_THROW(assignment_flows(m, bad_size), std::invalid_argument);
+  auto bad_dest = testing::paper_sp1();
+  bad_dest[0] = 7;
+  EXPECT_THROW(assignment_flows(m, bad_dest), std::invalid_argument);
+  EXPECT_THROW(assignment_flows(m, testing::paper_sp1(), net::FlowMatrix(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::join

@@ -1,0 +1,62 @@
+#include "join/local_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/tpch.hpp"
+
+namespace ccf::join {
+namespace {
+
+using data::Tuple;
+
+TEST(HashTableTest, ProbeCountsMultiplicity) {
+  HashTable t;
+  t.insert(1);
+  t.insert(1);
+  t.insert(2);
+  EXPECT_EQ(t.probe(1), 2u);
+  EXPECT_EQ(t.probe(2), 1u);
+  EXPECT_EQ(t.probe(3), 0u);
+  EXPECT_EQ(t.distinct_keys(), 2u);
+}
+
+TEST(HashJoinCount, EmptyInputs) {
+  const std::vector<Tuple> none;
+  const std::vector<Tuple> some = {{1, 8}, {2, 8}};
+  EXPECT_EQ(hash_join_count(none, some), 0u);
+  EXPECT_EQ(hash_join_count(some, none), 0u);
+}
+
+TEST(HashJoinCount, CrossProductPerKey) {
+  const std::vector<Tuple> build = {{1, 8}, {1, 8}, {2, 8}};
+  const std::vector<Tuple> probe = {{1, 8}, {1, 8}, {1, 8}, {2, 8}, {3, 8}};
+  // key 1: 2 x 3 = 6; key 2: 1 x 1 = 1; key 3: no match.
+  EXPECT_EQ(hash_join_count(build, probe), 7u);
+}
+
+TEST(ReferenceJoinCardinality, TpchJoinEqualsOrdersCount) {
+  data::TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  cfg.nodes = 3;
+  const auto customer = generate_customer(cfg);
+  const auto orders = generate_orders(cfg);
+  // Every order matches exactly one customer.
+  EXPECT_EQ(reference_join_cardinality(customer, orders), cfg.orders_rows());
+}
+
+TEST(ReferenceJoinCardinality, AgreesWithAnalyticKeyMath) {
+  data::DistributedRelation build("B", 2), probe("P", 2);
+  build.shard(0).add(Tuple{10, 4});
+  build.shard(1).add(Tuple{10, 4});
+  build.shard(1).add(Tuple{20, 4});
+  probe.shard(0).add(Tuple{10, 4});
+  probe.shard(0).add(Tuple{20, 4});
+  probe.shard(1).add(Tuple{20, 4});
+  // key 10: 2 x 1; key 20: 1 x 2.
+  EXPECT_EQ(reference_join_cardinality(build, probe), 4u);
+}
+
+}  // namespace
+}  // namespace ccf::join

@@ -1,0 +1,128 @@
+// Scheduler property sweeps over random instances:
+//   (i)   CcfScheduler (O(p·n)) computes the identical assignment to the
+//         line-by-line Algorithm 1 reference in opt::greedy_reference.
+//   (ii)  Mini's traffic is minimal among all schedulers (it is the
+//         per-partition traffic optimum and partitions are independent).
+//   (iii) The exact solver's makespan lower-bounds every heuristic.
+//   (iv)  Every scheduler returns a structurally valid assignment.
+#include <gtest/gtest.h>
+
+#include "data/workload.hpp"
+#include "join/schedulers.hpp"
+#include "opt/bnb.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::join {
+namespace {
+
+data::ChunkMatrix random_matrix(std::size_t p, std::size_t n,
+                                std::uint64_t seed) {
+  util::Pcg32 rng(util::derive_seed(seed, 41), 41);
+  data::ChunkMatrix m(p, n);
+  for (std::size_t k = 0; k < p; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of dense and sparse chunks, like hash-partitioned data.
+      m.set(k, i, rng.uniform01() < 0.8 ? rng.uniform(0.0, 100.0) : 0.0);
+    }
+  }
+  return m;
+}
+
+class SchedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedProperty, FastCcfEqualsReferenceAlgorithm1) {
+  const std::size_t n = 2 + GetParam() % 9;
+  const std::size_t p = 3 * n;
+  const auto m = random_matrix(p, n, GetParam());
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const Assignment fast = CcfScheduler().schedule(prob);
+  const Assignment ref = opt::greedy_reference(prob);
+  EXPECT_EQ(fast, ref);
+}
+
+TEST_P(SchedProperty, FastCcfEqualsReferenceWithInitialLoads) {
+  const std::size_t n = 3 + GetParam() % 5;
+  const std::size_t p = 2 * n;
+  const auto m = random_matrix(p, n, GetParam() + 100);
+  util::Pcg32 rng(util::derive_seed(GetParam(), 42), 42);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  prob.initial_egress.resize(n);
+  prob.initial_ingress.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prob.initial_egress[i] = rng.uniform(0.0, 50.0);
+    prob.initial_ingress[i] = rng.uniform(0.0, 50.0);
+  }
+  EXPECT_EQ(CcfScheduler().schedule(prob), opt::greedy_reference(prob));
+}
+
+TEST_P(SchedProperty, MiniTrafficIsMinimal) {
+  const std::size_t n = 2 + GetParam() % 7;
+  const std::size_t p = 4 * n;
+  const auto m = random_matrix(p, n, GetParam() + 200);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  const double mini = opt::traffic(prob, MiniScheduler().schedule(prob));
+  for (const char* name : {"hash", "ccf", "ccf-ls", "random"}) {
+    const double t = opt::traffic(prob, make_scheduler(name)->schedule(prob));
+    EXPECT_LE(mini, t + 1e-9) << name;
+  }
+}
+
+TEST_P(SchedProperty, ExactLowerBoundsHeuristics) {
+  const std::size_t n = 2 + GetParam() % 2;  // 2..3 nodes (exact stays cheap)
+  const std::size_t p = 6;
+  const auto m = random_matrix(p, n, GetParam() + 300);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  ExactScheduler exact;
+  const double t_star = opt::makespan(prob, exact.schedule(prob));
+  ASSERT_TRUE(exact.last_was_optimal());
+  for (const char* name : {"hash", "mini", "ccf", "ccf-ls"}) {
+    const double t = opt::makespan(prob, make_scheduler(name)->schedule(prob));
+    EXPECT_GE(t, t_star - 1e-9) << name;
+  }
+}
+
+TEST_P(SchedProperty, AssignmentsAreStructurallyValid) {
+  const std::size_t n = 2 + GetParam() % 10;
+  const std::size_t p = 5 * n;
+  const auto m = random_matrix(p, n, GetParam() + 400);
+  AssignmentProblem prob;
+  prob.matrix = &m;
+  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "random"}) {
+    const Assignment dest = make_scheduler(name)->schedule(prob);
+    EXPECT_EQ(dest.size(), p) << name;
+    for (const std::uint32_t d : dest) EXPECT_LT(d, n) << name;
+  }
+}
+
+TEST_P(SchedProperty, CcfMakespanAtMostHashAndMiniOnPaperWorkloads) {
+  // Algorithm 1 carries no worst-case guarantee, but on the paper's workload
+  // family (Zipf-aligned chunks, p = 15n, optional skew) it consistently
+  // dominates both baselines; this is the paper's central claim, guarded here
+  // as a regression test with a 2% slack for greedy ties.
+  data::WorkloadSpec spec;
+  spec.nodes = 4 + GetParam() % 6;
+  spec.partitions = 15 * spec.nodes;
+  spec.customer_bytes = 1e7;
+  spec.orders_bytes = 1e8;
+  spec.zipf_theta = 0.4 + 0.06 * static_cast<double>(GetParam());
+  spec.skew = 0.05 * static_cast<double>(GetParam() % 4);
+  spec.seed = GetParam() + 500;
+  const auto w = data::generate_workload(spec);
+  AssignmentProblem prob;
+  prob.matrix = &w.matrix;
+  const double ccf = opt::makespan(prob, CcfScheduler().schedule(prob));
+  const double hash = opt::makespan(prob, HashScheduler().schedule(prob));
+  const double mini = opt::makespan(prob, MiniScheduler().schedule(prob));
+  EXPECT_LE(ccf, hash * 1.02 + 1e-9);
+  EXPECT_LE(ccf, mini * 1.02 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ccf::join

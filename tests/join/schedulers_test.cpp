@@ -1,0 +1,116 @@
+#include "join/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_example.hpp"
+
+namespace ccf::join {
+namespace {
+
+AssignmentProblem problem_for(const data::ChunkMatrix& m) {
+  AssignmentProblem p;
+  p.matrix = &m;
+  return p;
+}
+
+TEST(MakeScheduler, AllNamesResolve) {
+  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "exact", "random"}) {
+    EXPECT_EQ(make_scheduler(name)->name(), name);
+  }
+  EXPECT_THROW(make_scheduler("bogus"), std::invalid_argument);
+}
+
+TEST(HashSchedulerTest, DestinationIsKModN) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment dest = HashScheduler().schedule(p);
+  ASSERT_EQ(dest.size(), 6u);
+  for (std::size_t k = 0; k < 6; ++k) EXPECT_EQ(dest[k], k % 3);
+  EXPECT_EQ(dest, testing::paper_sp0());
+}
+
+TEST(MiniSchedulerTest, ReproducesPaperSp2) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment dest = MiniScheduler().schedule(p);
+  // Non-empty partitions must match SP2 (largest chunk stays local). Empty
+  // partitions tie at 0 and argmax picks node 0, same as paper_sp2().
+  EXPECT_EQ(dest, testing::paper_sp2());
+  EXPECT_DOUBLE_EQ(opt::traffic(p, dest), testing::kTrafficSp2);
+}
+
+TEST(CcfSchedulerTest, FindsOptimalPlanOnPaperExample) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment dest = CcfScheduler().schedule(p);
+  EXPECT_DOUBLE_EQ(opt::makespan(p, dest), testing::kOptimalMakespan);
+}
+
+TEST(CcfSchedulerTest, BeatsHashAndMiniOnPaperExample) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const double t_ccf = opt::makespan(p, CcfScheduler().schedule(p));
+  const double t_hash = opt::makespan(p, HashScheduler().schedule(p));
+  const double t_mini = opt::makespan(p, MiniScheduler().schedule(p));
+  EXPECT_LT(t_ccf, t_hash);
+  EXPECT_LT(t_ccf, t_mini);
+  EXPECT_DOUBLE_EQ(t_hash, testing::kMakespanSp0);
+  EXPECT_DOUBLE_EQ(t_mini, testing::kMakespanSp2);
+}
+
+TEST(CcfSchedulerTest, HonorsInitialLoads) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem loaded;
+  loaded.matrix = &m;
+  loaded.initial_ingress = {0.0, 6.0, 0.0};  // pre-load node 1's ingress
+  const Assignment with_load = CcfScheduler().schedule(loaded);
+  // The plan must respect the preload: resulting T >= 6, and CCF should not
+  // push extra mass into node 1 beyond what locality demands.
+  const double t = opt::makespan(loaded, with_load);
+  EXPECT_GE(t, 6.0);
+  const auto profile = opt::evaluate(loaded, with_load);
+  EXPECT_LE(profile.ingress[1], 6.0 + 3.0);  // at most key1's unavoidable move
+}
+
+TEST(ExactSchedulerTest, OptimalAndFlagged) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  ExactScheduler sched;
+  const Assignment dest = sched.schedule(p);
+  EXPECT_TRUE(sched.last_was_optimal());
+  EXPECT_DOUBLE_EQ(opt::makespan(p, dest), testing::kOptimalMakespan);
+}
+
+TEST(RandomSchedulerTest, ValidAndSeedDeterministic) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  RandomScheduler a(5), b(5), c(6);
+  const Assignment da = a.schedule(p);
+  const Assignment db = b.schedule(p);
+  const Assignment dc = c.schedule(p);
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, dc);
+  for (const std::uint32_t d : da) EXPECT_LT(d, 3u);
+}
+
+TEST(CcfLsSchedulerTest, NeverWorseThanPlainCcf) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const double plain = opt::makespan(p, CcfScheduler().schedule(p));
+  const double refined = opt::makespan(p, CcfLsScheduler().schedule(p));
+  EXPECT_LE(refined, plain + 1e-12);
+}
+
+TEST(Schedulers, SingleNodeClusterKeepsEverythingLocal) {
+  data::ChunkMatrix m(4, 1);
+  for (std::size_t k = 0; k < 4; ++k) m.set(k, 0, 10.0);
+  const auto p = problem_for(m);
+  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "exact"}) {
+    const Assignment dest = make_scheduler(name)->schedule(p);
+    for (const std::uint32_t d : dest) EXPECT_EQ(d, 0u) << name;
+    EXPECT_DOUBLE_EQ(opt::traffic(p, dest), 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ccf::join

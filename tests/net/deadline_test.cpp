@@ -1,0 +1,125 @@
+// Deadline-aware coflow scheduling (Varys's second mode; the paper's related
+// work cites "meeting coflow deadlines" as a coflow-scheduling objective).
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/simulator.hpp"
+
+namespace ccf::net {
+namespace {
+
+FlowMatrix single_flow(double vol) {
+  FlowMatrix m(2);
+  m.set(0, 1, vol);
+  return m;
+}
+
+TEST(VarysDeadline, FeasibleDeadlineIsMetExactly) {
+  // 100 B at 10 B/s needs 10 s; deadline 20 s => admitted, finishes at 20 s
+  // (minimum-rate allocation frees the rest of the port).
+  Simulator sim(Fabric(2, 10.0), make_allocator("varys-edf"));
+  CoflowSpec spec("d", 0.0, single_flow(100.0));
+  spec.deadline = 20.0;
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  EXPECT_FALSE(r.coflows[0].rejected);
+  EXPECT_TRUE(r.coflows[0].met_deadline());
+  EXPECT_NEAR(r.coflows[0].completion, 20.0, 1e-9);
+}
+
+TEST(VarysDeadline, InfeasibleDeadlineIsRejectedAtArrival) {
+  // 100 B at 10 B/s needs >= 10 s; deadline 5 s => rejected.
+  Simulator sim(Fabric(2, 10.0), make_allocator("varys-edf"));
+  CoflowSpec spec("d", 0.0, single_flow(100.0));
+  spec.deadline = 5.0;
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  EXPECT_TRUE(r.coflows[0].rejected);
+  EXPECT_FALSE(r.coflows[0].met_deadline());
+  EXPECT_NEAR(r.coflows[0].completion, 0.0, 1e-9);
+  EXPECT_NEAR(r.total_bytes, 0.0, 1e-9);  // nothing was moved
+}
+
+TEST(VarysDeadline, AdmittedGuaranteeSurvivesLaterArrivals) {
+  // Coflow A (deadline 20) admitted at t=0 with rate 5 of 10. Coflow B
+  // arrives at t=1 with an aggressive deadline needing more than the
+  // leftover 5 B/s on the shared port -> B rejected, A still meets 20 s.
+  Simulator sim(Fabric(2, 10.0), make_allocator("varys-edf"));
+  CoflowSpec a("a", 0.0, single_flow(100.0));
+  a.deadline = 20.0;
+  CoflowSpec b("b", 1.0, single_flow(60.0));
+  b.deadline = 8.0;  // needs 60/8 = 7.5 > 10 - 100/20 = 5 leftover
+  sim.add_coflow(std::move(a));
+  sim.add_coflow(std::move(b));
+  const SimReport r = sim.run();
+  EXPECT_FALSE(r.cct_of("a") > 20.0);
+  EXPECT_TRUE(r.coflows[0].met_deadline());
+  EXPECT_TRUE(r.coflows[1].rejected);
+}
+
+TEST(VarysDeadline, TwoFeasibleDeadlinesCoexist) {
+  Simulator sim(Fabric(3, 10.0), make_allocator("varys-edf"));
+  FlowMatrix m1(3);
+  m1.set(0, 1, 40.0);  // needs 4 s min
+  CoflowSpec a("a", 0.0, std::move(m1));
+  a.deadline = 10.0;  // rate 4
+  FlowMatrix m2(3);
+  m2.set(0, 2, 30.0);  // shares egress 0 with a
+  CoflowSpec b("b", 0.0, std::move(m2));
+  b.deadline = 6.0;  // rate 5; total egress-0 demand 9 <= 10
+  sim.add_coflow(std::move(a));
+  sim.add_coflow(std::move(b));
+  const SimReport r = sim.run();
+  EXPECT_TRUE(r.coflows[0].met_deadline());
+  EXPECT_TRUE(r.coflows[1].met_deadline());
+  EXPECT_NEAR(r.cct_of("a"), 10.0, 1e-9);
+  EXPECT_NEAR(r.cct_of("b"), 6.0, 1e-9);
+}
+
+TEST(VarysDeadline, DeadlineFreeCoflowsBackfillLeftovers) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("varys-edf"));
+  CoflowSpec d("deadline", 0.0, single_flow(100.0));
+  d.deadline = 20.0;  // rate 5, leaves 5 for best-effort
+  CoflowSpec e("besteffort", 0.0, single_flow(50.0));
+  sim.add_coflow(std::move(d));
+  sim.add_coflow(std::move(e));
+  const SimReport r = sim.run();
+  EXPECT_TRUE(r.coflows[0].met_deadline());
+  // Best effort gets 5 B/s while the guarantee runs: 50/5 = 10 s.
+  EXPECT_NEAR(r.cct_of("besteffort"), 10.0, 1e-9);
+}
+
+TEST(VarysDeadline, NoDeadlinesDegeneratesToSebf) {
+  // Without any deadlines varys-edf should order exactly like varys.
+  auto run_with = [&](const char* name) {
+    Simulator sim(Fabric(2, 10.0), make_allocator(name));
+    sim.add_coflow(CoflowSpec("big", 0.0, single_flow(100.0)));
+    sim.add_coflow(CoflowSpec("small", 0.0, single_flow(50.0)));
+    return sim.run();
+  };
+  const SimReport edf = run_with("varys-edf");
+  const SimReport varys = run_with("varys");
+  EXPECT_NEAR(edf.cct_of("small"), varys.cct_of("small"), 1e-9);
+  EXPECT_NEAR(edf.cct_of("big"), varys.cct_of("big"), 1e-9);
+}
+
+TEST(VarysDeadline, OtherAllocatorsIgnoreDeadlines) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  CoflowSpec spec("d", 0.0, single_flow(100.0));
+  spec.deadline = 1.0;  // impossible, but MADD doesn't do admission
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  EXPECT_FALSE(r.coflows[0].rejected);
+  EXPECT_FALSE(r.coflows[0].met_deadline());  // finished at 10 s > 1 s
+  EXPECT_NEAR(r.coflows[0].completion, 10.0, 1e-9);
+}
+
+TEST(VarysDeadline, NegativeDeadlineRejectedByApi) {
+  Simulator sim(Fabric(2, 1.0), make_allocator("varys-edf"));
+  CoflowSpec spec("bad", 0.0, single_flow(1.0));
+  spec.deadline = -1.0;
+  EXPECT_THROW(sim.add_coflow(std::move(spec)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::net

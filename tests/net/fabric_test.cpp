@@ -1,0 +1,50 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::net {
+namespace {
+
+TEST(Fabric, HomogeneousConstruction) {
+  const Fabric f(4, 100.0);
+  EXPECT_EQ(f.nodes(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(f.egress_capacity(i), 100.0);
+    EXPECT_DOUBLE_EQ(f.ingress_capacity(i), 100.0);
+  }
+  EXPECT_TRUE(f.homogeneous());
+  EXPECT_DOUBLE_EQ(f.min_capacity(), 100.0);
+}
+
+TEST(Fabric, DefaultRateIsOneGigabit) {
+  const Fabric f(2);
+  EXPECT_DOUBLE_EQ(f.egress_capacity(0), 125e6);
+  EXPECT_DOUBLE_EQ(Fabric::kDefaultPortRate, 125e6);
+}
+
+TEST(Fabric, HeterogeneousConstruction) {
+  const Fabric f({100.0, 200.0}, {50.0, 80.0});
+  EXPECT_FALSE(f.homogeneous());
+  EXPECT_DOUBLE_EQ(f.egress_capacity(1), 200.0);
+  EXPECT_DOUBLE_EQ(f.ingress_capacity(0), 50.0);
+  EXPECT_DOUBLE_EQ(f.min_capacity(), 50.0);
+}
+
+TEST(Fabric, RejectsInvalidArguments) {
+  EXPECT_THROW(Fabric(0), std::invalid_argument);
+  EXPECT_THROW(Fabric(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(Fabric(3, -5.0), std::invalid_argument);
+  EXPECT_THROW(Fabric({}, {}), std::invalid_argument);
+  EXPECT_THROW(Fabric({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric({1.0, 0.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Fabric({1.0, 1.0}, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Fabric, OutOfRangeAccessThrows) {
+  const Fabric f(2);
+  EXPECT_THROW(f.egress_capacity(2), std::out_of_range);
+  EXPECT_THROW(f.ingress_capacity(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,69 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::net {
+namespace {
+
+FlowMatrix sample() {
+  FlowMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 5.0);
+  m.set(1, 2, 7.0);
+  m.set(2, 2, 99.0);  // diagonal: local, free
+  return m;
+}
+
+TEST(FlowMatrix, RejectsZeroNodes) {
+  EXPECT_THROW(FlowMatrix(0), std::invalid_argument);
+}
+
+TEST(FlowMatrix, TrafficIgnoresDiagonal) {
+  EXPECT_DOUBLE_EQ(sample().traffic(), 22.0);
+}
+
+TEST(FlowMatrix, EgressAndIngressPerNode) {
+  const auto m = sample();
+  EXPECT_DOUBLE_EQ(m.egress(0), 15.0);
+  EXPECT_DOUBLE_EQ(m.egress(1), 7.0);
+  EXPECT_DOUBLE_EQ(m.egress(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.ingress(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.ingress(1), 10.0);
+  EXPECT_DOUBLE_EQ(m.ingress(2), 12.0);
+}
+
+TEST(FlowMatrix, AddAccumulates) {
+  auto m = sample();
+  m.add(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(m.volume(0, 1), 12.5);
+}
+
+TEST(FlowMatrix, FlowCountSkipsDiagonalAndTiny) {
+  auto m = sample();
+  m.set(1, 0, 1e-9);  // below threshold
+  EXPECT_EQ(m.flow_count(), 3u);
+  EXPECT_EQ(m.flow_count(0.0), 4u);
+}
+
+TEST(FlowMatrix, ToFlowsMaterializesOffDiagonal) {
+  const auto flows = sample().to_flows();
+  ASSERT_EQ(flows.size(), 3u);
+  double total = 0.0;
+  for (const Flow& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_DOUBLE_EQ(f.volume, f.remaining);
+    EXPECT_DOUBLE_EQ(f.rate, 0.0);
+    total += f.volume;
+  }
+  EXPECT_DOUBLE_EQ(total, 22.0);
+}
+
+TEST(FlowMatrix, EqualityIsElementwise) {
+  EXPECT_EQ(sample(), sample());
+  auto m = sample();
+  m.add(2, 0, 1.0);
+  EXPECT_NE(m, sample());
+}
+
+}  // namespace
+}  // namespace ccf::net

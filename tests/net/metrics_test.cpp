@@ -1,0 +1,70 @@
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::net {
+namespace {
+
+// The paper's SP1 flow pattern (Fig. 2(c)): p1->p2: 3, p2->p1: 2, p2->p3: 1,
+// p3->p1: 1, in tuple units.
+FlowMatrix sp1() {
+  FlowMatrix m(3);
+  m.set(0, 1, 3.0);
+  m.set(1, 0, 2.0);
+  m.set(1, 2, 1.0);
+  m.set(2, 0, 1.0);
+  return m;
+}
+
+TEST(PortLoads, ComputesEgressIngress) {
+  const auto loads = port_loads(sp1());
+  EXPECT_DOUBLE_EQ(loads.egress[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads.egress[1], 3.0);
+  EXPECT_DOUBLE_EQ(loads.egress[2], 1.0);
+  EXPECT_DOUBLE_EQ(loads.ingress[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads.ingress[1], 3.0);
+  EXPECT_DOUBLE_EQ(loads.ingress[2], 1.0);
+  EXPECT_DOUBLE_EQ(loads.max_egress, 3.0);
+  EXPECT_DOUBLE_EQ(loads.max_ingress, 3.0);
+  EXPECT_DOUBLE_EQ(loads.bottleneck(), 3.0);
+}
+
+TEST(GammaBound, Sp1TakesThreeTimeUnits) {
+  // Unit-capacity ports (1 tuple per time unit): CCT bound = 3, matching the
+  // paper's optimal coflow schedule for SP1 in Fig. 2(c).
+  EXPECT_DOUBLE_EQ(gamma_bound(sp1(), Fabric(3, 1.0)), 3.0);
+}
+
+TEST(GammaBound, ScalesInverselyWithCapacity) {
+  EXPECT_DOUBLE_EQ(gamma_bound(sp1(), Fabric(3, 2.0)), 1.5);
+}
+
+TEST(GammaBound, DiagonalIsFree) {
+  FlowMatrix m(2);
+  m.set(0, 0, 100.0);
+  m.set(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(gamma_bound(m, Fabric(2, 1.0)), 4.0);
+}
+
+TEST(GammaBound, HeterogeneousPorts) {
+  FlowMatrix m(2);
+  m.set(0, 1, 10.0);
+  // Egress of node 0 is the bottleneck at capacity 1; ingress of node 1 has
+  // capacity 5.
+  const Fabric f({1.0, 5.0}, {5.0, 5.0});
+  EXPECT_DOUBLE_EQ(gamma_bound(m, f), 10.0);
+  const Fabric g({5.0, 5.0}, {5.0, 2.0});
+  EXPECT_DOUBLE_EQ(gamma_bound(m, g), 5.0);
+}
+
+TEST(GammaBound, EmptyMatrixIsZero) {
+  EXPECT_DOUBLE_EQ(gamma_bound(FlowMatrix(3), Fabric(3, 1.0)), 0.0);
+}
+
+TEST(GammaBound, MismatchedFabricThrows) {
+  const auto loads = port_loads(sp1());
+  EXPECT_THROW(gamma_bound(loads, Fabric(4, 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,138 @@
+#include "net/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/rack.hpp"
+#include "net/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+namespace {
+
+std::shared_ptr<const MultiPathFabric> small_fabric(std::size_t spines = 2) {
+  // 3 racks x 2 hosts, host rate 10, spine links 10 each.
+  return std::make_shared<const MultiPathFabric>(3, 2, spines, 10.0, 10.0);
+}
+
+TEST(MultiPathFabric, Geometry) {
+  const auto f = small_fabric();
+  EXPECT_EQ(f->nodes(), 6u);
+  EXPECT_EQ(f->racks(), 3u);
+  EXPECT_EQ(f->spines(), 2u);
+  EXPECT_EQ(f->link_count(), 2 * 6 + 2 * 3 * 2);
+  EXPECT_EQ(f->rack_of(0), 0u);
+  EXPECT_EQ(f->rack_of(5), 2u);
+  EXPECT_EQ(f->path_count(0, 1), 1u);  // same rack
+  EXPECT_EQ(f->path_count(0, 2), 2u);  // cross rack: one path per spine
+}
+
+TEST(MultiPathFabric, RejectsInvalidArguments) {
+  EXPECT_THROW(MultiPathFabric(0, 2, 2, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MultiPathFabric(2, 0, 2, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MultiPathFabric(2, 2, 0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MultiPathFabric(2, 2, 2, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MultiPathFabric(2, 2, 2, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RoutedNetwork, PathsFollowTheRouting) {
+  const auto f = small_fabric();
+  Routing routing(6);
+  routing.set_spine(0, 2, 1);
+  const RoutedNetwork net(f, routing);
+  const auto cross = net.links_of(0, 2);
+  ASSERT_EQ(cross.size(), 4u);
+  EXPECT_EQ(cross[0], f->egress_link(0));
+  EXPECT_EQ(cross[1], f->uplink(0, 1));
+  EXPECT_EQ(cross[2], f->downlink(1, 1));
+  EXPECT_EQ(cross[3], f->ingress_link(2));
+  const auto local = net.links_of(0, 1);
+  ASSERT_EQ(local.size(), 2u);
+}
+
+TEST(RoutedNetwork, Errors) {
+  const auto f = small_fabric();
+  EXPECT_THROW(RoutedNetwork(nullptr, Routing(6)), std::invalid_argument);
+  EXPECT_THROW(RoutedNetwork(f, Routing(4)), std::invalid_argument);
+  Routing bad(6);
+  bad.set_spine(0, 2, 9);  // spine out of range
+  const RoutedNetwork net(f, bad);
+  std::vector<Network::LinkId> out;
+  EXPECT_THROW(net.append_links(0, 2, out), std::out_of_range);
+}
+
+TEST(RouteEcmp, DeterministicHashOverSpines) {
+  const auto f = small_fabric(3);
+  const FlowMatrix flows(6);
+  const Routing r = route_ecmp(*f, flows);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(r.spine(i, j), (i + j) % 3);
+    }
+  }
+}
+
+TEST(RouteLeastLoaded, SpreadsTwoHeavyFlowsAcrossSpines) {
+  const auto f = small_fabric(2);
+  FlowMatrix flows(6);
+  // Two heavy flows from rack 0 to rack 1: with one spine they would share
+  // an uplink; least-loaded puts them on different spines.
+  flows.set(0, 2, 100.0);
+  flows.set(1, 3, 100.0);
+  const Routing r = route_least_loaded(*f, flows);
+  EXPECT_NE(r.spine(0, 2), r.spine(1, 3));
+}
+
+TEST(RouteLeastLoaded, GammaNeverWorseThanEcmp) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto f = std::make_shared<const MultiPathFabric>(4, 3, 3, 10.0, 15.0);
+    util::Pcg32 rng(util::derive_seed(seed, 91), 91);
+    FlowMatrix flows(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      for (std::size_t j = 0; j < 12; ++j) {
+        if (i != j && rng.uniform01() < 0.4) {
+          flows.set(i, j, rng.uniform(1.0, 200.0));
+        }
+      }
+    }
+    const double g_ecmp =
+        gamma_bound(flows, RoutedNetwork(f, route_ecmp(*f, flows)));
+    const double g_ll =
+        gamma_bound(flows, RoutedNetwork(f, route_least_loaded(*f, flows)));
+    EXPECT_LE(g_ll, g_ecmp * 1.001 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(RoutedNetwork, SingleSpineMatchesRackFabric) {
+  // One spine with uplink capacity = hosts*host_rate/oversub is exactly the
+  // RackFabric model: gammas must agree for any flows.
+  const auto mp = std::make_shared<const MultiPathFabric>(3, 2, 1, 10.0, 5.0);
+  const RackFabric rack(3, 2, 10.0, /*oversubscription=*/4.0);  // uplink 5
+  util::Pcg32 rng(7, 7);
+  FlowMatrix flows(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (i != j) flows.set(i, j, rng.uniform(0.0, 50.0));
+    }
+  }
+  const RoutedNetwork routed(mp, route_ecmp(*mp, flows));
+  EXPECT_NEAR(gamma_bound(flows, routed), gamma_bound(flows, rack), 1e-9);
+}
+
+TEST(RoutedNetwork, SimulatedMaddMatchesGamma) {
+  const auto f = std::make_shared<const MultiPathFabric>(3, 2, 2, 10.0, 8.0);
+  FlowMatrix flows(6);
+  flows.set(0, 2, 60.0);
+  flows.set(1, 4, 40.0);
+  flows.set(3, 5, 30.0);
+  flows.set(2, 0, 20.0);
+  const auto routed = std::make_shared<const RoutedNetwork>(
+      f, route_least_loaded(*f, flows));
+  const double gamma = gamma_bound(flows, *routed);
+  Simulator sim(routed, make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(flows)));
+  EXPECT_NEAR(sim.run().coflows[0].cct(), gamma, 1e-9 * gamma);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,138 @@
+#include "net/rack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/simulator.hpp"
+
+namespace ccf::net {
+namespace {
+
+TEST(RackFabric, BasicGeometry) {
+  const RackFabric topo(3, 4, 100.0, 2.0);
+  EXPECT_EQ(topo.nodes(), 12u);
+  EXPECT_EQ(topo.racks(), 3u);
+  EXPECT_EQ(topo.hosts_per_rack(), 4u);
+  EXPECT_EQ(topo.link_count(), 2 * 12 + 2 * 3);
+  EXPECT_DOUBLE_EQ(topo.host_rate(), 100.0);
+  // Uplink = 4 hosts x 100 / oversub 2 = 200.
+  EXPECT_DOUBLE_EQ(topo.uplink_rate(), 200.0);
+  EXPECT_EQ(topo.rack_of(0), 0u);
+  EXPECT_EQ(topo.rack_of(3), 0u);
+  EXPECT_EQ(topo.rack_of(4), 1u);
+  EXPECT_EQ(topo.rack_of(11), 2u);
+}
+
+TEST(RackFabric, LinkCapacities) {
+  const RackFabric topo(2, 3, 10.0, 1.5);
+  for (std::size_t node = 0; node < 6; ++node) {
+    EXPECT_DOUBLE_EQ(topo.link_capacity(topo.egress_link(node)), 10.0);
+    EXPECT_DOUBLE_EQ(topo.link_capacity(topo.ingress_link(node)), 10.0);
+  }
+  for (std::size_t rack = 0; rack < 2; ++rack) {
+    EXPECT_DOUBLE_EQ(topo.link_capacity(topo.uplink_out_link(rack)), 20.0);
+    EXPECT_DOUBLE_EQ(topo.link_capacity(topo.uplink_in_link(rack)), 20.0);
+  }
+  EXPECT_THROW(topo.link_capacity(99), std::out_of_range);
+}
+
+TEST(RackFabric, IntraRackFlowUsesTwoLinks) {
+  const RackFabric topo(2, 3);
+  const auto links = topo.links_of(0, 2);  // both in rack 0
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], topo.egress_link(0));
+  EXPECT_EQ(links[1], topo.ingress_link(2));
+}
+
+TEST(RackFabric, CrossRackFlowUsesFourLinks) {
+  const RackFabric topo(2, 3);
+  const auto links = topo.links_of(1, 4);  // rack 0 -> rack 1
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_EQ(links[0], topo.egress_link(1));
+  EXPECT_EQ(links[1], topo.uplink_out_link(0));
+  EXPECT_EQ(links[2], topo.uplink_in_link(1));
+  EXPECT_EQ(links[3], topo.ingress_link(4));
+}
+
+TEST(RackFabric, RejectsInvalidArguments) {
+  EXPECT_THROW(RackFabric(0, 3), std::invalid_argument);
+  EXPECT_THROW(RackFabric(3, 0), std::invalid_argument);
+  EXPECT_THROW(RackFabric(2, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(RackFabric(2, 2, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(RackGamma, UplinkBecomesTheBottleneck) {
+  // 2 racks x 2 hosts, host rate 10, oversub 4 -> uplink 5.
+  const RackFabric topo(2, 2, 10.0, 4.0);
+  FlowMatrix flows(4);
+  flows.set(0, 2, 10.0);  // cross-rack
+  // Host bound: 10/10 = 1 s. Uplink bound: 10/5 = 2 s.
+  EXPECT_DOUBLE_EQ(gamma_bound(flows, topo), 2.0);
+}
+
+TEST(RackGamma, IntraRackUnaffectedByOversubscription) {
+  const RackFabric topo(2, 2, 10.0, 8.0);
+  FlowMatrix flows(4);
+  flows.set(0, 1, 10.0);  // same rack
+  EXPECT_DOUBLE_EQ(gamma_bound(flows, topo), 1.0);
+}
+
+TEST(RackGamma, AggregatesUplinkLoadAcrossHosts) {
+  // Both hosts of rack 0 send 10 to rack 1: uplink-out of rack 0 carries 20.
+  const RackFabric topo(2, 2, 10.0, 1.0);  // uplink = 20
+  FlowMatrix flows(4);
+  flows.set(0, 2, 10.0);
+  flows.set(1, 3, 10.0);
+  // Hosts: 10/10 = 1 s. Uplink out rack0: 20/20 = 1 s. Tie at 1.
+  EXPECT_DOUBLE_EQ(gamma_bound(flows, topo), 1.0);
+  // With oversubscription 2 the uplink halves: bound doubles.
+  const RackFabric oversub(2, 2, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(gamma_bound(flows, oversub), 2.0);
+}
+
+TEST(RackGamma, FullBisectionSingleRackMatchesFlatFabric) {
+  const RackFabric topo(1, 4, 10.0, 1.0);
+  const Fabric flat(4, 10.0);
+  FlowMatrix flows(4);
+  flows.set(0, 1, 30.0);
+  flows.set(2, 3, 10.0);
+  flows.set(1, 2, 5.0);
+  EXPECT_DOUBLE_EQ(gamma_bound(flows, topo), gamma_bound(flows, flat));
+}
+
+TEST(RackSimulator, MaddMatchesRackGamma) {
+  const auto topo = std::make_shared<const RackFabric>(3, 3, 10.0, 3.0);
+  FlowMatrix flows(9);
+  // A mix of intra- and cross-rack flows.
+  flows.set(0, 1, 40.0);
+  flows.set(0, 4, 25.0);
+  flows.set(2, 8, 30.0);
+  flows.set(5, 3, 15.0);
+  flows.set(7, 6, 20.0);
+  const double gamma = gamma_bound(flows, *topo);
+  Simulator sim(topo, make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(flows)));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].cct(), gamma, 1e-9 * gamma);
+}
+
+TEST(RackSimulator, FairSharingRespectsUplinkCapacity) {
+  const auto topo = std::make_shared<const RackFabric>(2, 2, 10.0, 4.0);
+  // Two cross-rack flows share the rack-0 uplink (cap 5).
+  FlowMatrix flows(4);
+  flows.set(0, 2, 50.0);
+  flows.set(1, 3, 50.0);
+  Simulator sim(topo, make_allocator("fair"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(flows)));
+  const SimReport r = sim.run();
+  // Each flow gets 2.5 through the uplink: 50/2.5 = 20 s.
+  EXPECT_NEAR(r.coflows[0].cct(), 20.0, 1e-9);
+}
+
+TEST(RackSimulator, SimulatorRejectsNullNetwork) {
+  EXPECT_THROW(Simulator(nullptr, make_allocator("madd")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::net

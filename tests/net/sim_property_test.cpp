@@ -1,0 +1,139 @@
+// Property tests on the simulator across random instances: the invariants
+// that make the reproduction trustworthy.
+//
+//  (i)  MADD's simulated single-coflow CCT equals the analytic bound Γ.
+//  (ii) No allocator beats Γ; fair sharing is >= Γ.
+//  (iii) Bytes are conserved for every allocator.
+//  (iv) For multiple coflows, Varys's average CCT is <= FIFO MADD's on
+//       same-arrival batches (SEBF dominance on these instances).
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+#include "net/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+namespace {
+
+FlowMatrix random_matrix(std::size_t n, util::Pcg32& rng, double density,
+                         double max_volume) {
+  FlowMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform01() < density) {
+        m.set(i, j, rng.uniform(1.0, max_volume));
+      }
+    }
+  }
+  return m;
+}
+
+class SimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimProperty, MaddMatchesGammaExactly) {
+  util::Pcg32 rng(util::derive_seed(GetParam(), 1), 1);
+  const std::size_t n = 3 + GetParam() % 13;
+  FlowMatrix m = random_matrix(n, rng, 0.7, 1000.0);
+  const Fabric fabric(n, 10.0);
+  const double gamma = gamma_bound(m, fabric);
+  Simulator sim(fabric, make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].cct(), gamma, 1e-6 * gamma + 1e-9);
+}
+
+TEST_P(SimProperty, NoAllocatorBeatsGamma) {
+  for (const char* name : {"fair", "madd", "varys", "aalo"}) {
+    util::Pcg32 rng(util::derive_seed(GetParam(), 2), 2);
+    const std::size_t n = 3 + GetParam() % 10;
+    FlowMatrix m = random_matrix(n, rng, 0.5, 500.0);
+    const Fabric fabric(n, 7.0);
+    const double gamma = gamma_bound(m, fabric);
+    Simulator sim(fabric, make_allocator(name));
+    sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+    const SimReport r = sim.run();
+    EXPECT_GE(r.coflows[0].cct(), gamma * (1.0 - 1e-9)) << name;
+  }
+}
+
+TEST_P(SimProperty, BytesConserved) {
+  for (const char* name : {"fair", "madd", "varys", "aalo"}) {
+    util::Pcg32 rng(util::derive_seed(GetParam(), 3), 3);
+    const std::size_t n = 4 + GetParam() % 8;
+    FlowMatrix m = random_matrix(n, rng, 0.6, 800.0);
+    const double traffic = m.traffic();
+    Simulator sim(Fabric(n, 5.0), make_allocator(name));
+    sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+    const SimReport r = sim.run();
+    EXPECT_NEAR(r.total_bytes, traffic, 1e-6 * traffic + 1e-9) << name;
+  }
+}
+
+TEST_P(SimProperty, FairSharingNeverFasterThanMaddForSingleCoflow) {
+  util::Pcg32 rng(util::derive_seed(GetParam(), 4), 4);
+  const std::size_t n = 3 + GetParam() % 10;
+  const FlowMatrix m = random_matrix(n, rng, 0.8, 300.0);
+
+  Simulator madd(Fabric(n, 4.0), make_allocator("madd"));
+  madd.add_coflow(CoflowSpec("c", 0.0, m));
+  Simulator fair(Fabric(n, 4.0), make_allocator("fair"));
+  fair.add_coflow(CoflowSpec("c", 0.0, m));
+
+  const double cct_madd = madd.run().coflows[0].cct();
+  const double cct_fair = fair.run().coflows[0].cct();
+  EXPECT_GE(cct_fair, cct_madd * (1.0 - 1e-9));
+}
+
+TEST_P(SimProperty, VarysAverageCctNotWorseThanFifoOnBatch) {
+  util::Pcg32 rng(util::derive_seed(GetParam(), 5), 5);
+  const std::size_t n = 6;
+  std::vector<FlowMatrix> batch;
+  for (int c = 0; c < 4; ++c) {
+    batch.push_back(random_matrix(n, rng, 0.5, 100.0 * (c + 1)));
+  }
+
+  auto run_with = [&](const char* name) {
+    Simulator sim(Fabric(n, 3.0), make_allocator(name));
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+      sim.add_coflow(CoflowSpec("c" + std::to_string(c), 0.0, batch[c]));
+    }
+    return sim.run().average_cct();
+  };
+
+  // SEBF is a (very good) heuristic, not provably dominant, so allow a small
+  // slack factor instead of asserting strict dominance.
+  EXPECT_LE(run_with("varys"), run_with("madd") * 1.05 + 1e-9);
+}
+
+TEST_P(SimProperty, MakespanIndependentOfWorkConservingOrderOnBatch) {
+  // All work-conserving single-path schedules have the same total bytes and,
+  // with all coflows present from t=0 on a shared fabric, the makespan can
+  // differ across allocators but never beats the aggregate Γ of the union.
+  util::Pcg32 rng(util::derive_seed(GetParam(), 6), 6);
+  const std::size_t n = 5;
+  std::vector<FlowMatrix> batch;
+  FlowMatrix combined(n);
+  for (int c = 0; c < 3; ++c) {
+    batch.push_back(random_matrix(n, rng, 0.6, 200.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        combined.add(i, j, batch.back().volume(i, j));
+      }
+    }
+  }
+  const Fabric fabric(n, 4.0);
+  const double gamma_union = gamma_bound(combined, fabric);
+  for (const char* name : {"fair", "madd", "varys", "aalo"}) {
+    Simulator sim(fabric, make_allocator(name));
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+      sim.add_coflow(CoflowSpec("c" + std::to_string(c), 0.0, batch[c]));
+    }
+    EXPECT_GE(sim.run().makespan, gamma_union * (1.0 - 1e-9)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ccf::net

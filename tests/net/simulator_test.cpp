@@ -1,0 +1,253 @@
+#include "net/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/metrics.hpp"
+
+namespace ccf::net {
+namespace {
+
+FlowMatrix single_flow(double vol) {
+  FlowMatrix m(2);
+  m.set(0, 1, vol);
+  return m;
+}
+
+TEST(Simulator, SingleFlowTakesVolumeOverRate) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("c", 0.0, single_flow(100.0)));
+  const SimReport r = sim.run();
+  ASSERT_EQ(r.coflows.size(), 1u);
+  EXPECT_NEAR(r.coflows[0].cct(), 10.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 10.0, 1e-9);
+  EXPECT_NEAR(r.total_bytes, 100.0, 1e-6);
+}
+
+TEST(Simulator, ArrivalDelaysCompletion) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("late", 5.0, single_flow(100.0)));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].completion, 15.0, 1e-9);
+  EXPECT_NEAR(r.coflows[0].cct(), 10.0, 1e-9);
+}
+
+TEST(Simulator, MaddCctEqualsGammaForPaperExample) {
+  // SP1 of Fig. 2(c): CCT must be 3 time units on unit ports.
+  FlowMatrix m(3);
+  m.set(0, 1, 3.0);
+  m.set(1, 0, 2.0);
+  m.set(1, 2, 1.0);
+  m.set(2, 0, 1.0);
+  const double gamma = gamma_bound(m, Fabric(3, 1.0));
+  Simulator sim(Fabric(3, 1.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("sp1", 0.0, std::move(m)));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].cct(), gamma, 1e-9);
+  EXPECT_NEAR(r.coflows[0].cct(), 3.0, 1e-9);
+}
+
+TEST(Simulator, SingleCoflowMaddIsOneEvent) {
+  FlowMatrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        m.set(i, j, 10.0 + static_cast<double>(i) + 2.0 * static_cast<double>(j));
+      }
+    }
+  }
+  Simulator sim(Fabric(4, 1.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+  const SimReport r = sim.run();
+  EXPECT_EQ(r.events, 1u);  // MADD: every flow ends at Γ simultaneously
+}
+
+TEST(Simulator, FairSharingSequentialCompletions) {
+  // Two flows from node 0: fair sharing splits the egress, so the smaller
+  // finishes at 2*vol_small/cap... then the larger speeds up.
+  FlowMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 30.0);
+  Simulator sim(Fabric(3, 10.0), make_allocator("fair"));
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+  const SimReport r = sim.run();
+  // Phase 1: both at rate 5 until small one done at t=2 (10/5). Phase 2:
+  // large has 20 left at rate 10 -> done at t=4.
+  EXPECT_NEAR(r.coflows[0].cct(), 4.0, 1e-9);
+  EXPECT_EQ(r.events, 2u);
+}
+
+TEST(Simulator, TwoCoflowsFifoUnderMadd) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("first", 0.0, single_flow(100.0)));
+  sim.add_coflow(CoflowSpec("second", 0.0, single_flow(50.0)));
+  const SimReport r = sim.run();
+  // FIFO: first runs alone (10 s), then second (5 s).
+  EXPECT_NEAR(r.cct_of("first"), 10.0, 1e-9);
+  EXPECT_NEAR(r.cct_of("second"), 15.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 15.0, 1e-9);
+}
+
+TEST(Simulator, VarysReordersBySize) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("varys"));
+  sim.add_coflow(CoflowSpec("big", 0.0, single_flow(100.0)));
+  sim.add_coflow(CoflowSpec("small", 0.0, single_flow(50.0)));
+  const SimReport r = sim.run();
+  // SEBF: small first (5 s), big afterwards (15 s total).
+  EXPECT_NEAR(r.cct_of("small"), 5.0, 1e-9);
+  EXPECT_NEAR(r.cct_of("big"), 15.0, 1e-9);
+}
+
+TEST(Simulator, BytesConservedAcrossAllocators) {
+  for (const char* name : {"fair", "madd", "varys", "aalo"}) {
+    FlowMatrix m(3);
+    m.set(0, 1, 25.0);
+    m.set(1, 2, 35.0);
+    m.set(2, 0, 45.0);
+    Simulator sim(Fabric(3, 5.0), make_allocator(name));
+    sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+    const SimReport r = sim.run();
+    EXPECT_NEAR(r.total_bytes, 105.0, 1e-6) << name;
+  }
+}
+
+TEST(Simulator, EmptyCoflowCompletesAtArrival) {
+  Simulator sim(Fabric(2, 1.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("empty", 2.0, FlowMatrix(2)));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].completion, 2.0, 1e-9);
+  EXPECT_NEAR(r.coflows[0].cct(), 0.0, 1e-9);
+}
+
+TEST(Simulator, NoCoflowsRunsToEmptyReport) {
+  Simulator sim(Fabric(2, 1.0), make_allocator("madd"));
+  const SimReport r = sim.run();
+  EXPECT_TRUE(r.coflows.empty());
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(Simulator, GapBetweenCoflowsIsSkipped) {
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  sim.add_coflow(CoflowSpec("a", 0.0, single_flow(10.0)));   // done at 1
+  sim.add_coflow(CoflowSpec("b", 100.0, single_flow(10.0)));  // idle gap
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.cct_of("a"), 1.0, 1e-9);
+  EXPECT_NEAR(r.cct_of("b"), 1.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 101.0, 1e-9);
+}
+
+TEST(Simulator, TraceRecordsEpochs) {
+  SimConfig cfg;
+  cfg.record_trace = true;
+  FlowMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 30.0);
+  Simulator sim(Fabric(3, 10.0), make_allocator("fair"), cfg);
+  sim.add_coflow(CoflowSpec("c", 0.0, std::move(m)));
+  sim.run();
+  ASSERT_EQ(sim.trace().size(), 2u);
+  EXPECT_NEAR(sim.trace()[0].time, 2.0, 1e-9);
+  EXPECT_EQ(sim.trace()[0].completed_flows, 1u);
+  EXPECT_NEAR(sim.trace()[1].time, 4.0, 1e-9);
+  EXPECT_EQ(sim.trace()[1].completed_flows, 2u);
+}
+
+TEST(Simulator, RejectsApiMisuse) {
+  Simulator sim(Fabric(2, 1.0), make_allocator("madd"));
+  EXPECT_THROW(sim.add_coflow(CoflowSpec("bad", 0.0, FlowMatrix(3))),
+               std::invalid_argument);
+  EXPECT_THROW(sim.add_coflow(CoflowSpec("bad", -1.0, FlowMatrix(2))),
+               std::invalid_argument);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+  EXPECT_THROW(sim.add_coflow(CoflowSpec("late", 0.0, FlowMatrix(2))),
+               std::logic_error);
+  EXPECT_THROW(Simulator(Fabric(2, 1.0), nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, PerFlowStartOffsetsDelayIndividualFlows) {
+  // Online coflow (§II-B): two flows of one coflow start 0 s and 5 s after
+  // arrival. Disjoint ports, rate 10: flow A done at 1 s, flow B at 5 + 1 s.
+  FlowMatrix m(4);
+  m.set(0, 1, 10.0);
+  m.set(2, 3, 10.0);
+  FlowMatrix offsets(4);
+  offsets.set(2, 3, 5.0);
+  CoflowSpec spec("online", 0.0, std::move(m));
+  spec.start_offsets = std::move(offsets);
+  Simulator sim(Fabric(4, 10.0), make_allocator("madd"));
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].cct(), 6.0, 1e-9);
+}
+
+TEST(Simulator, StaggeredFlowsShareThePortSequentially) {
+  // Same egress port; second flow starts after the first finished: no
+  // contention, total = 1 + 1 with a 3 s gap in between.
+  FlowMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 10.0);
+  FlowMatrix offsets(3);
+  offsets.set(0, 2, 3.0);
+  CoflowSpec spec("staggered", 0.0, std::move(m));
+  spec.start_offsets = std::move(offsets);
+  Simulator sim(Fabric(3, 10.0), make_allocator("fair"));
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  EXPECT_NEAR(r.coflows[0].cct(), 4.0, 1e-9);
+  EXPECT_EQ(r.events, 2u);
+}
+
+TEST(Simulator, OffsetsComposeWithCoflowArrival) {
+  FlowMatrix m(2);
+  m.set(0, 1, 10.0);
+  FlowMatrix offsets(2);
+  offsets.set(0, 1, 2.0);
+  CoflowSpec spec("late", 3.0, std::move(m));
+  spec.start_offsets = std::move(offsets);
+  Simulator sim(Fabric(2, 10.0), make_allocator("madd"));
+  sim.add_coflow(std::move(spec));
+  const SimReport r = sim.run();
+  // Starts at 3 + 2 = 5, takes 1 s; CCT measured from arrival (3).
+  EXPECT_NEAR(r.coflows[0].completion, 6.0, 1e-9);
+  EXPECT_NEAR(r.coflows[0].cct(), 3.0, 1e-9);
+}
+
+TEST(Simulator, RejectsBadStartOffsets) {
+  {
+    FlowMatrix m(2);
+    m.set(0, 1, 1.0);
+    CoflowSpec spec("bad-shape", 0.0, std::move(m));
+    spec.start_offsets = FlowMatrix(3);
+    Simulator sim(Fabric(2, 1.0), make_allocator("madd"));
+    EXPECT_THROW(sim.add_coflow(std::move(spec)), std::invalid_argument);
+  }
+  {
+    FlowMatrix m(2);
+    m.set(0, 1, 1.0);
+    FlowMatrix offsets(2);
+    offsets.set(0, 1, -1.0);
+    CoflowSpec spec("negative", 0.0, std::move(m));
+    spec.start_offsets = std::move(offsets);
+    Simulator sim(Fabric(2, 1.0), make_allocator("madd"));
+    EXPECT_THROW(sim.add_coflow(std::move(spec)), std::invalid_argument);
+  }
+}
+
+TEST(SimReportTest, AverageCctAndLookup) {
+  SimReport r;
+  CoflowResult a;
+  a.name = "a";
+  a.arrival = 0.0;
+  a.completion = 4.0;
+  CoflowResult b;
+  b.name = "b";
+  b.arrival = 2.0;
+  b.completion = 4.0;
+  r.coflows = {a, b};
+  EXPECT_DOUBLE_EQ(r.average_cct(), 3.0);
+  EXPECT_DOUBLE_EQ(r.cct_of("b"), 2.0);
+  EXPECT_THROW(r.cct_of("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,151 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccf::net {
+namespace {
+
+constexpr const char* kSample =
+    "4 2\n"
+    "COF1 0 2 0 1 2 2:100 3:50\n"
+    "COF2 2500 1 3 1 0:8\n";
+
+TEST(ParseCoflowTrace, ReadsHeaderAndCoflows) {
+  std::istringstream in(kSample);
+  const CoflowTrace trace = parse_coflow_trace(in);
+  EXPECT_EQ(trace.racks, 4u);
+  ASSERT_EQ(trace.coflows.size(), 2u);
+
+  const TraceCoflow& c1 = trace.coflows[0];
+  EXPECT_EQ(c1.id, "COF1");
+  EXPECT_DOUBLE_EQ(c1.arrival_seconds, 0.0);
+  EXPECT_EQ(c1.mappers, (std::vector<std::uint32_t>{0, 1}));
+  ASSERT_EQ(c1.reducers.size(), 2u);
+  EXPECT_EQ(c1.reducers[0].first, 2u);
+  EXPECT_DOUBLE_EQ(c1.reducers[0].second, 100.0);
+  EXPECT_DOUBLE_EQ(c1.total_bytes(), 150e6);
+
+  const TraceCoflow& c2 = trace.coflows[1];
+  EXPECT_DOUBLE_EQ(c2.arrival_seconds, 2.5);  // millis -> seconds
+  EXPECT_EQ(c2.mappers, (std::vector<std::uint32_t>{3}));
+}
+
+TEST(ParseCoflowTrace, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_coflow_trace(in), std::invalid_argument) << text;
+  };
+  expect_throw("");                          // empty
+  expect_throw("0 1\n");                     // zero racks
+  expect_throw("4 1\nC1 0 0 1 0:5\n");       // zero mappers
+  expect_throw("4 1\nC1 0 1 9 1 0:5\n");     // mapper rack out of range
+  expect_throw("4 1\nC1 0 1 0 1 9:5\n");     // reducer rack out of range
+  expect_throw("4 1\nC1 0 1 0 1 2\n");       // reducer missing :MB
+  expect_throw("4 1\nC1 -5 1 0 1 2:5\n");    // negative arrival
+  expect_throw("4 2\nC1 0 1 0 1 2:5\n");     // header count mismatch
+}
+
+TEST(WriteCoflowTrace, RoundTrips) {
+  std::istringstream in(kSample);
+  const CoflowTrace trace = parse_coflow_trace(in);
+  std::ostringstream out;
+  write_coflow_trace(trace, out);
+  std::istringstream in2(out.str());
+  const CoflowTrace again = parse_coflow_trace(in2);
+  ASSERT_EQ(again.coflows.size(), trace.coflows.size());
+  for (std::size_t i = 0; i < trace.coflows.size(); ++i) {
+    EXPECT_EQ(again.coflows[i].id, trace.coflows[i].id);
+    EXPECT_DOUBLE_EQ(again.coflows[i].arrival_seconds,
+                     trace.coflows[i].arrival_seconds);
+    EXPECT_EQ(again.coflows[i].mappers, trace.coflows[i].mappers);
+    EXPECT_EQ(again.coflows[i].reducers, trace.coflows[i].reducers);
+  }
+}
+
+TEST(ToCoflowSpecs, SplitsReducerBytesOverMappers) {
+  std::istringstream in(kSample);
+  const auto specs = to_coflow_specs(parse_coflow_trace(in));
+  ASSERT_EQ(specs.size(), 2u);
+  // COF1: reducer rack 2 gets 100 MB from mappers {0,1}: 50 MB per mapper.
+  const FlowMatrix& f1 = specs[0].flows;
+  EXPECT_DOUBLE_EQ(f1.volume(0, 2), 50e6);
+  EXPECT_DOUBLE_EQ(f1.volume(1, 2), 50e6);
+  EXPECT_DOUBLE_EQ(f1.volume(0, 3), 25e6);
+  EXPECT_DOUBLE_EQ(f1.volume(1, 3), 25e6);
+  EXPECT_DOUBLE_EQ(f1.traffic(), 150e6);
+  // COF2: single mapper rack 3, reducer rack 0.
+  EXPECT_DOUBLE_EQ(specs[1].flows.volume(3, 0), 8e6);
+  EXPECT_DOUBLE_EQ(specs[1].arrival, 2.5);
+}
+
+TEST(ToCoflowSpecs, MapperEqualsReducerIsLocal) {
+  std::istringstream in("2 1\nC1 0 2 0 1 1 0:10\n");
+  const auto specs = to_coflow_specs(parse_coflow_trace(in));
+  // Mapper 0 == reducer 0: only mapper 1 ships its 5 MB share.
+  EXPECT_DOUBLE_EQ(specs[0].flows.traffic(), 5e6);
+  EXPECT_DOUBLE_EQ(specs[0].flows.volume(1, 0), 5e6);
+}
+
+TEST(GenerateSyntheticTrace, ShapeAndDeterminism) {
+  SyntheticTraceOptions opts;
+  opts.racks = 20;
+  opts.coflows = 50;
+  util::Pcg32 rng_a(9, 9), rng_b(9, 9);
+  const CoflowTrace a = generate_synthetic_trace(opts, rng_a);
+  const CoflowTrace b = generate_synthetic_trace(opts, rng_b);
+  EXPECT_EQ(a.racks, 20u);
+  ASSERT_EQ(a.coflows.size(), 50u);
+  ASSERT_EQ(b.coflows.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.coflows[i].mappers, b.coflows[i].mappers);
+    EXPECT_DOUBLE_EQ(a.coflows[i].arrival_seconds,
+                     b.coflows[i].arrival_seconds);
+    // Arrivals sorted within the window.
+    if (i > 0) {
+      EXPECT_GE(a.coflows[i].arrival_seconds,
+                a.coflows[i - 1].arrival_seconds);
+    }
+    EXPECT_LE(a.coflows[i].arrival_seconds, opts.duration_seconds);
+    for (const auto m : a.coflows[i].mappers) EXPECT_LT(m, 20u);
+  }
+}
+
+TEST(GenerateSyntheticTrace, HeavyTailPresent) {
+  SyntheticTraceOptions opts;
+  opts.racks = 30;
+  opts.coflows = 200;
+  opts.heavy_fraction = 0.2;
+  util::Pcg32 rng(3, 3);
+  const CoflowTrace trace = generate_synthetic_trace(opts, rng);
+  std::vector<double> sizes;
+  for (const auto& c : trace.coflows) sizes.push_back(c.total_bytes());
+  std::sort(sizes.begin(), sizes.end());
+  // The biggest coflow should dwarf the median by orders of magnitude.
+  EXPECT_GT(sizes.back(), 20.0 * sizes[sizes.size() / 2]);
+}
+
+TEST(GenerateSyntheticTrace, RoundTripsThroughTheTextFormat) {
+  SyntheticTraceOptions opts;
+  opts.racks = 10;
+  opts.coflows = 8;
+  util::Pcg32 rng(4, 4);
+  const CoflowTrace trace = generate_synthetic_trace(opts, rng);
+  std::ostringstream out;
+  write_coflow_trace(trace, out);
+  std::istringstream in(out.str());
+  const CoflowTrace again = parse_coflow_trace(in);
+  ASSERT_EQ(again.coflows.size(), trace.coflows.size());
+  for (std::size_t i = 0; i < trace.coflows.size(); ++i) {
+    EXPECT_NEAR(again.coflows[i].total_bytes(), trace.coflows[i].total_bytes(),
+                1e-3);
+  }
+}
+
+TEST(LoadCoflowTrace, MissingFileThrows) {
+  EXPECT_THROW(load_coflow_trace("/nonexistent/trace.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,130 @@
+#include "opt/bnb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "testing/paper_example.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::opt {
+namespace {
+
+// Exhaustive reference: try every destination combination.
+double brute_force_optimum(const AssignmentProblem& p) {
+  const std::size_t n = p.nodes();
+  const std::size_t parts = p.partitions();
+  std::vector<std::uint32_t> dest(parts, 0);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t combos = 1;
+  for (std::size_t k = 0; k < parts; ++k) combos *= n;
+  for (std::size_t code = 0; code < combos; ++code) {
+    std::size_t c = code;
+    for (std::size_t k = 0; k < parts; ++k) {
+      dest[k] = static_cast<std::uint32_t>(c % n);
+      c /= n;
+    }
+    best = std::min(best, makespan(p, dest));
+  }
+  return best;
+}
+
+TEST(SolveExact, PaperExampleOptimumIsThree) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  const BnbResult r = solve_exact(p);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.T, testing::kOptimalMakespan);
+  EXPECT_DOUBLE_EQ(makespan(p, r.dest), r.T);
+}
+
+TEST(SolveExact, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    util::Pcg32 rng(util::derive_seed(seed, 17), 17);
+    const std::size_t n = 2 + seed % 3;   // 2..4 nodes
+    const std::size_t parts = 4 + seed % 3;  // 4..6 partitions
+    data::ChunkMatrix m(parts, n);
+    for (std::size_t k = 0; k < parts; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        m.set(k, i, std::floor(rng.uniform(0.0, 20.0)));
+      }
+    }
+    AssignmentProblem p;
+    p.matrix = &m;
+    const BnbResult r = solve_exact(p);
+    ASSERT_TRUE(r.optimal) << "seed " << seed;
+    EXPECT_NEAR(r.T, brute_force_optimum(p), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SolveExact, HandlesInitialLoads) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  p.initial_ingress = {0.0, 4.0, 0.0};  // node 1 pre-loaded
+  const BnbResult r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.T, makespan(p, r.dest));
+  // With 4 bytes already entering node 1 the old optimum (3) is infeasible.
+  EXPECT_GE(r.T, 4.0);
+  // Brute force agrees.
+  EXPECT_NEAR(r.T, brute_force_optimum(p), 1e-9);
+}
+
+TEST(SolveExact, WarmStartAccepted) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  BnbOptions opts;
+  opts.initial = testing::paper_sp0();  // suboptimal warm start
+  const BnbResult r = solve_exact(p, opts);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.T, testing::kOptimalMakespan);
+}
+
+TEST(SolveExact, BadWarmStartThrows) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  BnbOptions opts;
+  opts.initial = Assignment{0, 1};  // wrong length
+  EXPECT_THROW(solve_exact(p, opts), std::invalid_argument);
+}
+
+TEST(SolveExact, NodeLimitFlagsNonOptimal) {
+  // A bigger random instance with a 1-node budget cannot finish.
+  util::Pcg32 rng(3, 3);
+  data::ChunkMatrix m(12, 5);
+  for (std::size_t k = 0; k < 12; ++k) {
+    for (std::size_t i = 0; i < 5; ++i) m.set(k, i, rng.uniform(1.0, 9.0));
+  }
+  AssignmentProblem p;
+  p.matrix = &m;
+  BnbOptions opts;
+  opts.max_nodes = 1;
+  const BnbResult r = solve_exact(p, opts);
+  EXPECT_FALSE(r.optimal);
+  // Still returns the (greedy) incumbent, a valid assignment.
+  EXPECT_EQ(r.dest.size(), m.partitions());
+  EXPECT_DOUBLE_EQ(r.T, makespan(p, r.dest));
+}
+
+TEST(SolveExact, NeverWorseThanGreedyIncumbent) {
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    util::Pcg32 rng(util::derive_seed(seed, 18), 18);
+    data::ChunkMatrix m(8, 3);
+    for (std::size_t k = 0; k < 8; ++k) {
+      for (std::size_t i = 0; i < 3; ++i) m.set(k, i, rng.uniform(0.0, 15.0));
+    }
+    AssignmentProblem p;
+    p.matrix = &m;
+    const double greedy_T = makespan(p, greedy_reference(p));
+    const BnbResult r = solve_exact(p);
+    EXPECT_LE(r.T, greedy_T + 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ccf::opt

@@ -1,0 +1,82 @@
+#include "opt/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/bnb.hpp"
+#include "testing/paper_example.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::opt {
+namespace {
+
+TEST(MinPartitionTraffic, LeavesLargestChunkLocal) {
+  const auto m = testing::paper_chunk_matrix();
+  EXPECT_DOUBLE_EQ(min_partition_traffic(m, 0), 1.0);  // key 0: 4 - 3
+  EXPECT_DOUBLE_EQ(min_partition_traffic(m, 1), 3.0);  // key 1: 9 - 6
+  EXPECT_DOUBLE_EQ(min_partition_traffic(m, 2), 1.0);  // key 2: 3 - 2
+  EXPECT_DOUBLE_EQ(min_partition_traffic(m, 5), 1.0);  // key 5: 3 - 2
+  EXPECT_DOUBLE_EQ(min_partition_traffic(m, 3), 0.0);  // empty
+}
+
+TEST(RootLowerBound, PaperExampleIsBetweenSpreadAndOptimum) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  const double lb = root_lower_bound(p);
+  // Unavoidable traffic 6 over 3 nodes -> spread bound 2; largest single
+  // unavoidable move 3 (partition 1). Bound = 3 == the true optimum here.
+  EXPECT_DOUBLE_EQ(lb, 3.0);
+  EXPECT_LE(lb, testing::kOptimalMakespan);
+}
+
+TEST(RootLowerBound, AccountsForInitialLoads) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  p.initial_egress = {50.0, 0.0, 0.0};
+  EXPECT_GE(root_lower_bound(p), 50.0);
+}
+
+TEST(RootLowerBound, NeverExceedsExactOptimum) {
+  // Random instances: lb <= T*(found by exact solver).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Pcg32 rng(util::derive_seed(seed, 8), 8);
+    data::ChunkMatrix m(6, 3);
+    for (std::size_t k = 0; k < 6; ++k) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        m.set(k, i, rng.uniform(0.0, 10.0));
+      }
+    }
+    AssignmentProblem p;
+    p.matrix = &m;
+    const auto exact = solve_exact(p);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(root_lower_bound(p), exact.T + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(PartialLowerBound, AtLeastCurrentT) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  const std::vector<double> egress = {5.0, 0.0, 0.0};
+  const std::vector<double> ingress = {0.0, 2.0, 0.0};
+  const std::vector<std::uint32_t> unassigned = {1, 2};
+  EXPECT_GE(partial_lower_bound(p, egress, ingress, unassigned, 5.0), 5.0);
+}
+
+TEST(PartialLowerBound, GrowsWithUnassignedVolume) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  const std::vector<double> zero(3, 0.0);
+  const std::vector<std::uint32_t> none = {};
+  const std::vector<std::uint32_t> all = {0, 1, 2, 3, 4, 5};
+  EXPECT_LT(partial_lower_bound(p, zero, zero, none, 0.0),
+            partial_lower_bound(p, zero, zero, all, 0.0));
+  // All partitions unassigned: spread bound = 6 / 3 = 2.
+  EXPECT_DOUBLE_EQ(partial_lower_bound(p, zero, zero, all, 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace ccf::opt

@@ -1,0 +1,106 @@
+#include "opt/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "opt/bnb.hpp"
+#include "testing/paper_example.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::opt {
+namespace {
+
+TEST(Refine, NeverIncreasesMakespan) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    util::Pcg32 rng(util::derive_seed(seed, 31), 31);
+    data::ChunkMatrix m(20, 4);
+    for (std::size_t k = 0; k < 20; ++k) {
+      for (std::size_t i = 0; i < 4; ++i) m.set(k, i, rng.uniform(0.0, 50.0));
+    }
+    AssignmentProblem p;
+    p.matrix = &m;
+    Assignment dest(20);
+    for (auto& d : dest) d = rng.bounded(4);
+    const double before = makespan(p, dest);
+    const LocalSearchResult r = refine(p, dest);
+    EXPECT_LE(r.final_T, before + 1e-9) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(makespan(p, dest), r.final_T);
+    EXPECT_DOUBLE_EQ(r.initial_T, before);
+  }
+}
+
+TEST(Refine, ImprovesAwfulAssignment) {
+  // Everything dumped on node 0: local search must spread the load.
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  Assignment dest(m.partitions(), 0);  // key1's 6 tuples flood node 0
+  const double before = makespan(p, dest);
+  ASSERT_GE(before, 9.0);  // ingress of node 0 = 1 + 6 + 2 + 3 = 12... >= 9
+  const LocalSearchResult r = refine(p, dest);
+  EXPECT_LT(r.final_T, before);
+  EXPECT_GT(r.moves, 0u);
+}
+
+TEST(Refine, FixedPointOnOptimal) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  Assignment dest = testing::paper_sp1();  // already optimal (T = 3)
+  const LocalSearchResult r = refine(p, dest);
+  EXPECT_DOUBLE_EQ(r.final_T, testing::kOptimalMakespan);
+  EXPECT_EQ(dest, testing::paper_sp1());  // untouched
+}
+
+TEST(Refine, ReachesOptimumFromSp2) {
+  // SP2 (T = 4) relocates key 2 -> optimal SP1-quality plan (T = 3).
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  Assignment dest = testing::paper_sp2();
+  const LocalSearchResult r = refine(p, dest);
+  EXPECT_DOUBLE_EQ(r.final_T, testing::kOptimalMakespan);
+}
+
+TEST(Refine, RespectsRoundLimit) {
+  util::Pcg32 rng(7, 7);
+  data::ChunkMatrix m(30, 5);
+  for (std::size_t k = 0; k < 30; ++k) {
+    for (std::size_t i = 0; i < 5; ++i) m.set(k, i, rng.uniform(0.0, 10.0));
+  }
+  AssignmentProblem p;
+  p.matrix = &m;
+  Assignment dest(30, 0);
+  LocalSearchOptions opts;
+  opts.max_rounds = 1;
+  const LocalSearchResult r = refine(p, dest, opts);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(Refine, CloseToExactOnSmallRandomInstances) {
+  // Greedy + local search should land within 15% of the proven optimum.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Pcg32 rng(util::derive_seed(seed, 32), 32);
+    data::ChunkMatrix m(8, 3);
+    for (std::size_t k = 0; k < 8; ++k) {
+      for (std::size_t i = 0; i < 3; ++i) m.set(k, i, rng.uniform(1.0, 20.0));
+    }
+    AssignmentProblem p;
+    p.matrix = &m;
+    Assignment dest = greedy_reference(p);
+    refine(p, dest);
+    const BnbResult exact = solve_exact(p);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(makespan(p, dest), exact.T * 1.15 + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Refine, SizeMismatchThrows) {
+  const auto m = testing::paper_chunk_matrix();
+  AssignmentProblem p;
+  p.matrix = &m;
+  Assignment dest = {0, 1};
+  EXPECT_THROW(refine(p, dest), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::opt

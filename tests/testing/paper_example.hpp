@@ -1,0 +1,82 @@
+// The paper's motivating example (Fig. 1 / Fig. 2), shared across tests.
+//
+// Three nodes; tuples written key^frequency:
+//   Node 0: 1^3 2^1 0^3      Node 1: 1^6 2^2 5^1      Node 2: 5^2 0^1
+// Keys {0,1,2,5}, partitioned with f(k) = k mod 6 so every key is its own
+// partition (partitions 3 and 4 are empty). Each tuple is 1 byte so that
+// byte counts equal the paper's tuple counts.
+//
+// Known ground truth from the paper:
+//   * SP0 = hash placement, traffic 8 tuples, optimal CCT 4 (T = 4).
+//   * SP1 = the plan of Fig. 2(c), traffic 7, optimal CCT 3 (T = 3).
+//   * SP2 = traffic-minimal placement (Mini), traffic 6, optimal CCT 4.
+//   * T* = 3 (no placement beats SP1's bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/chunk_matrix.hpp"
+#include "data/relation.hpp"
+
+namespace ccf::testing {
+
+inline constexpr std::size_t kPaperNodes = 3;
+inline constexpr std::size_t kPaperPartitions = 6;
+
+/// Chunk matrix of the example (bytes == tuples).
+inline data::ChunkMatrix paper_chunk_matrix() {
+  data::ChunkMatrix m(kPaperPartitions, kPaperNodes);
+  // partition 0 = key 0: node0 x3, node2 x1
+  m.set(0, 0, 3.0);
+  m.set(0, 2, 1.0);
+  // partition 1 = key 1: node0 x3, node1 x6
+  m.set(1, 0, 3.0);
+  m.set(1, 1, 6.0);
+  // partition 2 = key 2: node0 x1, node1 x2
+  m.set(2, 0, 1.0);
+  m.set(2, 1, 2.0);
+  // partition 5 = key 5: node1 x1, node2 x2
+  m.set(5, 1, 1.0);
+  m.set(5, 2, 2.0);
+  return m;
+}
+
+/// The same data as tuple-level relations (every tuple 1 payload byte).
+/// The "build" side is empty — the example joins a single multiset; tests
+/// that need two relations put all tuples on the probe side.
+inline data::DistributedRelation paper_relation() {
+  data::DistributedRelation rel("FIG1", kPaperNodes);
+  auto add_n = [&rel](std::size_t node, std::uint64_t key, int count) {
+    for (int c = 0; c < count; ++c) rel.shard(node).add(data::Tuple{key, 1});
+  };
+  add_n(0, 1, 3);
+  add_n(0, 2, 1);
+  add_n(0, 0, 3);
+  add_n(1, 1, 6);
+  add_n(1, 2, 2);
+  add_n(1, 5, 1);
+  add_n(2, 5, 2);
+  add_n(2, 0, 1);
+  return rel;
+}
+
+/// SP1 (Fig. 2(c)): key0->n0, key1->n1, key2->n0, key5->n2.
+/// Empty partitions 3 and 4 are pinned to node 0 (they carry no bytes).
+inline std::vector<std::uint32_t> paper_sp1() { return {0, 1, 0, 0, 0, 2}; }
+
+/// SP2 (traffic-optimal / Mini): key0->n0, key1->n1, key2->n1, key5->n2.
+inline std::vector<std::uint32_t> paper_sp2() { return {0, 1, 1, 0, 0, 2}; }
+
+/// SP0 (hash, dest = k mod 3): key0->n0, key1->n1, key2->n2, key5->n2.
+inline std::vector<std::uint32_t> paper_sp0() { return {0, 1, 2, 0, 1, 2}; }
+
+inline constexpr double kTrafficSp0 = 8.0;
+inline constexpr double kTrafficSp1 = 7.0;
+inline constexpr double kTrafficSp2 = 6.0;
+inline constexpr double kMakespanSp0 = 4.0;
+inline constexpr double kMakespanSp1 = 3.0;
+inline constexpr double kMakespanSp2 = 4.0;
+inline constexpr double kOptimalMakespan = 3.0;
+
+}  // namespace ccf::testing

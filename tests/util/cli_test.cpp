@@ -1,0 +1,152 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ccf::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test program");
+  p.add_flag("nodes", "100", "node count");
+  p.add_flag("zipf", "0.8", "zipf factor");
+  p.add_flag("verbose", "false", "chatty output");
+  p.add_flag("sweep", "1:5:2", "an int sweep");
+  p.add_flag("fsweep", "0.0:1.0:0.5", "a float sweep");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArgs) {
+  auto p = make_parser();
+  const std::array<const char*, 1> argv = {"prog"};
+  p.parse(1, argv.data());
+  EXPECT_EQ(p.get_int("nodes"), 100);
+  EXPECT_DOUBLE_EQ(p.get_double("zipf"), 0.8);
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_FALSE(p.provided("nodes"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto p = make_parser();
+  const std::array<const char*, 5> argv = {"prog", "--nodes", "500", "--zipf",
+                                           "0.4"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_EQ(p.get_int("nodes"), 500);
+  EXPECT_DOUBLE_EQ(p.get_double("zipf"), 0.4);
+  EXPECT_TRUE(p.provided("nodes"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--nodes=250"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_EQ(p.get_int("nodes"), 250);
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--verbose"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, BooleanBeforeAnotherFlag) {
+  auto p = make_parser();
+  const std::array<const char*, 4> argv = {"prog", "--verbose", "--nodes", "7"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get_int("nodes"), 7);
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--bogus"};
+  EXPECT_THROW(p.parse(argv.size(), argv.data()), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--nodes"};
+  EXPECT_THROW(p.parse(argv.size(), argv.data()), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgThrows) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "positional"};
+  EXPECT_THROW(p.parse(argv.size(), argv.data()), std::invalid_argument);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p("prog", "x");
+  p.add_flag("a", "1", "");
+  EXPECT_THROW(p.add_flag("a", "2", ""), std::logic_error);
+}
+
+TEST(ArgParser, UnregisteredLookupThrows) {
+  auto p = make_parser();
+  EXPECT_THROW(p.get("nope"), std::logic_error);
+}
+
+TEST(ArgParser, IntSweepExpansion) {
+  auto p = make_parser();
+  const std::array<const char*, 1> argv = {"prog"};
+  p.parse(1, argv.data());
+  const auto sweep = p.get_int_sweep("sweep");
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0], 1);
+  EXPECT_EQ(sweep[1], 3);
+  EXPECT_EQ(sweep[2], 5);
+}
+
+TEST(ArgParser, SingleValueSweep) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--sweep=42"};
+  p.parse(argv.size(), argv.data());
+  const auto sweep = p.get_int_sweep("sweep");
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0], 42);
+}
+
+TEST(ArgParser, DoubleSweepIncludesEndpoint) {
+  auto p = make_parser();
+  const std::array<const char*, 1> argv = {"prog"};
+  p.parse(1, argv.data());
+  const auto sweep = p.get_double_sweep("fsweep");
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[0], 0.0);
+  EXPECT_DOUBLE_EQ(sweep[1], 0.5);
+  EXPECT_DOUBLE_EQ(sweep[2], 1.0);
+}
+
+TEST(ArgParser, MalformedSweepThrows) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--sweep=1:2"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_THROW(p.get_int_sweep("sweep"), std::invalid_argument);
+}
+
+TEST(ArgParser, BadSweepBoundsThrow) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--sweep=5:1:1"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_THROW(p.get_int_sweep("sweep"), std::invalid_argument);
+}
+
+TEST(ArgParser, UsageMentionsFlagsAndDefaults) {
+  auto p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+TEST(ArgParser, NonBooleanValueForBoolThrows) {
+  auto p = make_parser();
+  const std::array<const char*, 2> argv = {"prog", "--verbose=maybe"};
+  p.parse(argv.size(), argv.data());
+  EXPECT_THROW(p.get_bool("verbose"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::util

@@ -1,0 +1,88 @@
+#include "util/csv_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ccf::util {
+namespace {
+
+std::vector<std::vector<std::string>> parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_csv(in);
+}
+
+TEST(ReadCsv, SimpleRows) {
+  const auto rows = parse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ReadCsv, MissingTrailingNewline) {
+  const auto rows = parse("x,y");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ReadCsv, EmptyCellsPreserved) {
+  const auto rows = parse("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  const auto rows = parse("a\n\nb\n\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][0], "b");
+}
+
+TEST(ReadCsv, QuotedCommasAndQuotes) {
+  const auto rows = parse("\"with,comma\",\"with\"\"quote\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "with,comma");
+  EXPECT_EQ(rows[0][1], "with\"quote");
+}
+
+TEST(ReadCsv, QuotedNewline) {
+  const auto rows = parse("\"two\nlines\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(ReadCsv, ToleratesCrLf) {
+  const auto rows = parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ReadCsv, RejectsMalformedQuoting) {
+  EXPECT_THROW(parse("ab\"cd\n"), std::invalid_argument);
+  EXPECT_THROW(parse("\"unterminated\n"), std::invalid_argument);
+}
+
+TEST(ReadCsv, RoundTripsWithCsvWriter) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  {
+    CsvWriter w(path);
+    w.header({"k", "v"});
+    w.row({"plain", "with,comma"});
+    w.row({"q\"uote", "multi\nline"});
+  }
+  const auto rows = read_csv_file(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "with,comma"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"q\"uote", "multi\nline"}));
+}
+
+TEST(ReadCsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccf::util

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace ccf::util {
+namespace {
+
+TEST(FormatBytes, PicksSensibleUnits) {
+  EXPECT_EQ(format_bytes(0.0), "0.00 B");
+  EXPECT_EQ(format_bytes(999.0), "999 B");
+  EXPECT_EQ(format_bytes(1500.0), "1.50 kB");
+  EXPECT_EQ(format_bytes(2.5e6), "2.50 MB");
+  EXPECT_EQ(format_bytes(990e9), "990 GB");
+  EXPECT_EQ(format_bytes(1.2e12), "1.20 TB");
+}
+
+TEST(FormatBytes, NegativeValuesKeepSign) {
+  EXPECT_EQ(format_bytes(-2.5e6), "-2.50 MB");
+}
+
+TEST(FormatSeconds, PicksSensibleUnits) {
+  EXPECT_EQ(format_seconds(0.5e-6), "500 ns");
+  EXPECT_EQ(format_seconds(2e-6), "2.00 us");
+  EXPECT_EQ(format_seconds(3.5e-3), "3.50 ms");
+  EXPECT_EQ(format_seconds(12.0), "12.0 s");
+  EXPECT_EQ(format_seconds(90.0), "1m30.0s");
+  EXPECT_EQ(format_seconds(7260.0), "2h01m");
+}
+
+TEST(FormatCount, Suffixes) {
+  EXPECT_EQ(format_count(17.0), "17");
+  EXPECT_EQ(format_count(1800.0), "1.80 k");
+  EXPECT_EQ(format_count(90e6), "90.0 M");
+  EXPECT_EQ(format_count(2.5e9), "2.50 B");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(10.0, 0), "10");
+}
+
+TEST(ParseScaled, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_scaled("600"), 600.0);
+  EXPECT_DOUBLE_EQ(parse_scaled("1.5G"), 1.5e9);
+  EXPECT_DOUBLE_EQ(parse_scaled("250M"), 250e6);
+  EXPECT_DOUBLE_EQ(parse_scaled("4k"), 4000.0);
+  EXPECT_DOUBLE_EQ(parse_scaled("2T"), 2e12);
+}
+
+TEST(ParseScaled, RejectsGarbage) {
+  EXPECT_THROW(parse_scaled(""), std::invalid_argument);
+  EXPECT_THROW(parse_scaled("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_scaled("1.5X"), std::invalid_argument);
+  EXPECT_THROW(parse_scaled("1.5GB"), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "20"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells right-aligned: "20" padded on the left within width 5.
+  EXPECT_NE(out.find("|    20 |"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TableTest, AccessorsReflectContents) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 1u);
+  EXPECT_EQ(t.row(1).at(0), "2");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ccf_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.header({"a", "b"});
+    w.row({"1", "x,y"});
+    EXPECT_EQ(w.rows_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvWriterTest, EnforcesWidthAndSingleHeader) {
+  const std::string path = ::testing::TempDir() + "/ccf_csv_test2.csv";
+  CsvWriter w(path);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.header({"again"}), std::logic_error);
+  EXPECT_THROW(w.row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccf::util

@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet below WARN unless a binary opts in.
+  const LogLevelGuard guard;
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGetRoundTrips) {
+  const LogLevelGuard guard;
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, OrderingSupportsFiltering) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST(Log, VariadicBuilderDoesNotCrashAtAnyLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // discard output; exercise the paths
+  log(LogLevel::kDebug, "pieces ", 42, " and ", 1.5);
+  log(LogLevel::kError, "also fine");
+  set_log_level(LogLevel::kDebug);
+  // Goes to stderr; the assertion is simply that formatting works.
+  log(LogLevel::kDebug, "visible debug line from log_test: n=", 3);
+}
+
+}  // namespace
+}  // namespace ccf::util

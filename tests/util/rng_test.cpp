@@ -1,0 +1,157 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ccf::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value of SplitMix64 with seed 0 (Steele et al. / xoshiro docs).
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Pcg32, IsDeterministic) {
+  Pcg32 a(99, 5), b(99, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(99, 1), b(99, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 g(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 31}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(g.bounded(bound), bound);
+  }
+}
+
+TEST(Pcg32, BoundedOneAlwaysZero) {
+  Pcg32 g(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(g.bounded(1), 0u);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 g(11);
+  constexpr std::uint32_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[g.bounded(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 0.05 * kDraws / kBuckets);
+  }
+}
+
+TEST(Pcg32, Uniform01InHalfOpenRange) {
+  Pcg32 g(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = g.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, Uniform01MeanIsHalf) {
+  Pcg32 g(17);
+  double sum = 0.0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) sum += g.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 g(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.uniform(-3.5, 7.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 7.25);
+  }
+}
+
+TEST(Pcg32, UniformIntCoversInclusiveRange) {
+  Pcg32 g(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = g.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Pcg32, UniformIntSingleton) {
+  Pcg32 g(29);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(g.uniform_int(42, 42), 42);
+}
+
+TEST(Pcg32, UniformIntLargeSpan) {
+  Pcg32 g(31);
+  const std::int64_t lo = -5'000'000'000LL, hi = 5'000'000'000LL;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = g.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Pcg32, NormalHasExpectedMoments) {
+  Pcg32 g(37);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.02);
+}
+
+TEST(Pcg32, ForkedGeneratorsDiverge) {
+  Pcg32 g(41);
+  Pcg32 c1 = g.fork(1);
+  Pcg32 c2 = g.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (c1() == c2()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(DeriveSeed, DistinctIndicesDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(5, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(77, 3), derive_seed(77, 3));
+  EXPECT_NE(derive_seed(77, 3), derive_seed(78, 3));
+}
+
+}  // namespace
+}  // namespace ccf::util

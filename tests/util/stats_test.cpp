@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace ccf::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsNoop) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::array<double, 5> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::array<double, 2> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.75), 7.5);
+}
+
+TEST(Percentile, ClampsQ) {
+  const std::array<double, 3> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 3.0);
+}
+
+TEST(Gini, PerfectlyBalancedIsZero) {
+  const std::array<double, 4> xs = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, FullyConcentratedApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1.0;
+  EXPECT_NEAR(gini(xs), 0.99, 1e-9);
+}
+
+TEST(Gini, KnownTwoValueCase) {
+  // {0, 1}: gini = 0.5.
+  const std::array<double, 2> xs = {0.0, 1.0};
+  EXPECT_NEAR(gini(xs), 0.5, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroSumAreZero) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::array<double, 3> zeros = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(ImbalanceRatio, BalancedIsOne) {
+  const std::array<double, 4> xs = {3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 1.0);
+}
+
+TEST(ImbalanceRatio, HotspotDetected) {
+  const std::array<double, 4> xs = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 4.0);
+}
+
+TEST(ImbalanceRatio, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({}), 0.0);
+}
+
+TEST(HistogramTest, CountsFallInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEnds) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, EdgesAreLinear) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.edge(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.edge(2), 15.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccf::util

@@ -1,0 +1,109 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccf::util {
+namespace {
+
+TEST(ZipfWeights, SumToOne) {
+  for (const double theta : {0.0, 0.3, 0.8, 1.0, 2.0}) {
+    const auto w = zipf_weights(100, theta);
+    const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfWeights, ThetaZeroIsUniform) {
+  const auto w = zipf_weights(50, 0.0);
+  for (const double x : w) EXPECT_DOUBLE_EQ(x, 1.0 / 50.0);
+}
+
+TEST(ZipfWeights, MonotonicallyDecreasing) {
+  const auto w = zipf_weights(200, 0.8);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GE(w[i - 1], w[i]);
+}
+
+TEST(ZipfWeights, HigherThetaMoreConcentrated) {
+  const auto w_low = zipf_weights(100, 0.2);
+  const auto w_high = zipf_weights(100, 1.2);
+  EXPECT_GT(w_high[0], w_low[0]);
+  EXPECT_LT(w_high[99], w_low[99]);
+}
+
+TEST(ZipfWeights, MatchesClosedFormRatio) {
+  // w_r / w_1 = r^{-theta}.
+  const double theta = 0.8;
+  const auto w = zipf_weights(64, theta);
+  for (std::size_t r = 1; r <= 64; ++r) {
+    EXPECT_NEAR(w[r - 1] / w[0], std::pow(static_cast<double>(r), -theta),
+                1e-12);
+  }
+}
+
+TEST(ZipfWeights, SingleNodeIsOne) {
+  const auto w = zipf_weights(1, 0.8);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(ZipfWeights, RejectsInvalidArguments) {
+  EXPECT_THROW(zipf_weights(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(zipf_weights(5, -0.1), std::invalid_argument);
+}
+
+TEST(GeneralizedHarmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(generalized_harmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(generalized_harmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(generalized_harmonic(10, 0.0), 10.0);
+}
+
+// Property sweep: the alias sampler's empirical distribution matches the
+// analytic weights for several thetas and sizes.
+class ZipfSamplerParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ZipfSamplerParam, EmpiricalMatchesAnalytic) {
+  const auto [n, theta] = GetParam();
+  ZipfSampler sampler(n, theta);
+  Pcg32 rng(1234, 9);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler(rng)];
+  const auto& w = sampler.weights();
+  for (std::size_t r = 0; r < n; ++r) {
+    const double expected = w[r] * kDraws;
+    // 5-sigma binomial tolerance plus a small absolute floor.
+    const double tol = 5.0 * std::sqrt(expected * (1.0 - w[r])) + 5.0;
+    EXPECT_NEAR(counts[r], expected, tol) << "n=" << n << " theta=" << theta
+                                          << " rank=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ZipfSamplerParam,
+    ::testing::Values(std::make_tuple(std::size_t{2}, 0.0),
+                      std::make_tuple(std::size_t{5}, 0.8),
+                      std::make_tuple(std::size_t{16}, 0.4),
+                      std::make_tuple(std::size_t{64}, 1.0),
+                      std::make_tuple(std::size_t{128}, 2.0)));
+
+TEST(ZipfSampler, SizeAndThetaAccessors) {
+  ZipfSampler s(10, 0.7);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.theta(), 0.7);
+}
+
+TEST(ZipfSampler, DeterministicGivenRngState) {
+  ZipfSampler s(20, 0.8);
+  Pcg32 a(5, 1), b(5, 1);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(s(a), s(b));
+}
+
+}  // namespace
+}  // namespace ccf::util
