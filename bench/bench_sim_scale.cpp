@@ -1,0 +1,312 @@
+// Scaling benchmark and perf-regression harness for the event engine.
+//
+// Sweeps #coflows x #racks over all five allocators, running every workload
+// under both engine modes (SimEngine::kReference vs kIncremental), verifying
+// that their SimReports agree (events exactly, times/bytes within 1e-9
+// relative) and recording the wall-clock of each. Full mode writes
+// BENCH_sim.json (one result object per line, greppable/diffable).
+//
+// --smoke re-times a reduced sweep and compares the incremental engine
+// against a checked-in baseline (--baseline BENCH_sim.json), failing with
+// exit code 1 if any allocator regressed more than 2x beyond a small noise
+// floor. Wired up as the `perf_smoke` ctest.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "net/trace.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kAllocators[] = {"fair", "madd", "varys", "aalo",
+                                       "varys-edf"};
+
+std::vector<ccf::net::CoflowSpec> make_workload(std::size_t racks,
+                                                std::size_t coflows,
+                                                std::uint64_t seed) {
+  ccf::net::SyntheticTraceOptions opts;
+  opts.racks = racks;
+  opts.coflows = coflows;
+  opts.duration_seconds = 60.0;
+  ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 81), 81);
+  const auto trace = ccf::net::generate_synthetic_trace(opts, rng);
+  auto specs = ccf::net::to_coflow_specs(trace);
+  // Give every third coflow a deadline at 1.5x its standalone bottleneck
+  // bound so varys-edf exercises both admission and rejection. The field is
+  // inert under the other allocators.
+  for (std::size_t c = 0; c < specs.size(); c += 3) {
+    double gamma = 0.0;
+    for (std::size_t node = 0; node < racks; ++node) {
+      gamma = std::max(gamma, std::max(specs[c].flows.egress(node),
+                                       specs[c].flows.ingress(node)) /
+                                  ccf::net::Fabric::kDefaultPortRate);
+    }
+    if (gamma > 0.0) specs[c].deadline = 1.5 * gamma;
+  }
+  return specs;
+}
+
+struct RunResult {
+  ccf::net::SimReport report;
+  double ms = 0.0;
+};
+
+RunResult run_once(const std::vector<ccf::net::CoflowSpec>& specs,
+                   std::size_t racks, const std::string& allocator,
+                   ccf::net::SimEngine engine) {
+  ccf::net::SimConfig config;
+  config.engine = engine;
+  ccf::net::Simulator sim(ccf::net::Fabric(racks),
+                          ccf::net::make_allocator(allocator), config);
+  for (const auto& spec : specs) sim.add_coflow(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.report = sim.run();
+  r.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  return r;
+}
+
+/// Min-of-`reps` wall clock (keeps the last report). Minimum, not mean:
+/// interference only ever adds time, so the minimum is the cleanest estimate.
+RunResult run_best(const std::vector<ccf::net::CoflowSpec>& specs,
+                   std::size_t racks, const std::string& allocator,
+                   ccf::net::SimEngine engine, int reps) {
+  RunResult best;
+  best.ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto r = run_once(specs, racks, allocator, engine);
+    best.ms = std::min(best.ms, r.ms);
+    best.report = std::move(r.report);
+  }
+  return best;
+}
+
+bool close_rel(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Reference-vs-incremental report agreement; prints the first mismatch.
+bool reports_agree(const ccf::net::SimReport& ref,
+                   const ccf::net::SimReport& inc, std::string& why) {
+  std::ostringstream os;
+  if (ref.events != inc.events) {
+    os << "events " << ref.events << " vs " << inc.events;
+  } else if (!close_rel(ref.makespan, inc.makespan)) {
+    os << "makespan " << ref.makespan << " vs " << inc.makespan;
+  } else if (!close_rel(ref.total_bytes, inc.total_bytes)) {
+    os << "total_bytes " << ref.total_bytes << " vs " << inc.total_bytes;
+  } else {
+    for (std::size_t c = 0; c < ref.coflows.size(); ++c) {
+      if (ref.coflows[c].rejected != inc.coflows[c].rejected) {
+        os << "coflow " << c << " rejected flag mismatch";
+        break;
+      }
+      if (!close_rel(ref.coflows[c].completion, inc.coflows[c].completion)) {
+        os << "coflow " << c << " completion " << ref.coflows[c].completion
+           << " vs " << inc.coflows[c].completion;
+        break;
+      }
+    }
+  }
+  why = os.str();
+  return why.empty();
+}
+
+// --- naive line-oriented JSON helpers (one result object per line) ---------
+
+double json_number(const std::string& line, const std::string& key) {
+  const auto p = line.find("\"" + key + "\"");
+  if (p == std::string::npos) return std::nan("");
+  const auto colon = line.find(':', p);
+  if (colon == std::string::npos) return std::nan("");
+  try {
+    return std::stod(line.substr(colon + 1));
+  } catch (...) {
+    return std::nan("");
+  }
+}
+
+std::string json_string(const std::string& line, const std::string& key) {
+  const auto p = line.find("\"" + key + "\"");
+  if (p == std::string::npos) return {};
+  const auto open = line.find('"', line.find(':', p) + 1);
+  if (open == std::string::npos) return {};
+  const auto close = line.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
+struct BaselineEntry {
+  std::string allocator;
+  std::size_t coflows = 0, racks = 0;
+  double incremental_ms = 0.0;
+};
+
+std::vector<BaselineEntry> load_baseline(const std::string& path) {
+  std::vector<BaselineEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"allocator\"") == std::string::npos) continue;
+    BaselineEntry e;
+    e.allocator = json_string(line, "allocator");
+    e.coflows = static_cast<std::size_t>(json_number(line, "coflows"));
+    e.racks = static_cast<std::size_t>(json_number(line, "racks"));
+    e.incremental_ms = json_number(line, "incremental_ms");
+    if (!e.allocator.empty() && std::isfinite(e.incremental_ms)) {
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+int run_smoke(const std::string& baseline_path, std::uint64_t seed) {
+  const std::size_t kRacks = 50, kCoflows = 120;
+  const auto baseline = load_baseline(baseline_path);
+  if (baseline.empty()) {
+    std::cerr << "perf-smoke: no baseline entries in " << baseline_path
+              << "\n";
+    return 1;
+  }
+  const auto specs = make_workload(kRacks, kCoflows, seed);
+  bool ok = true;
+  ccf::util::Table t({"allocator", "now ms", "baseline ms", "ratio", "status"});
+  for (const char* name : kAllocators) {
+    // Equivalence sanity on every smoke run, on top of the timing check.
+    const auto ref = run_once(specs, kRacks, name, ccf::net::SimEngine::kReference);
+    const auto inc =
+        run_best(specs, kRacks, name, ccf::net::SimEngine::kIncremental, 3);
+    const double ms = inc.ms;
+    std::string why;
+    if (!reports_agree(ref.report, inc.report, why)) {
+      std::cerr << "perf-smoke: " << name
+                << " engine disagreement vs reference: " << why << "\n";
+      ok = false;
+    }
+    double base = std::nan("");
+    for (const auto& e : baseline) {
+      if (e.allocator == name && e.coflows == kCoflows && e.racks == kRacks) {
+        base = e.incremental_ms;
+      }
+    }
+    std::string status = "ok";
+    if (!std::isfinite(base)) {
+      status = "no baseline";  // not fatal: new allocator since the baseline
+    } else if (ms > 2.0 * base && ms - base > 25.0) {
+      // >2x the checked-in time AND past a 25 ms noise floor.
+      status = "REGRESSED";
+      ok = false;
+    }
+    std::ostringstream ratio;
+    ratio.precision(2);
+    ratio << std::fixed << (std::isfinite(base) ? ms / base : 0.0) << "x";
+    std::ostringstream mss, bss;
+    mss.precision(2);
+    mss << std::fixed << ms;
+    bss.precision(2);
+    bss << std::fixed << (std::isfinite(base) ? base : 0.0);
+    t.add_row({name, mss.str(), bss.str(), ratio.str(), status});
+  }
+  t.print(std::cout);
+  if (!ok) {
+    std::cerr << "perf-smoke FAILED (engine mismatch or >2x regression vs "
+              << baseline_path << ")\n";
+    return 1;
+  }
+  std::cout << "perf-smoke passed\n";
+  return 0;
+}
+
+int run_main(int argc, char** argv) {
+  ccf::util::ArgParser args("bench_sim_scale",
+                            "Engine scaling sweep + perf-regression harness");
+  // The default sweep must include the 120x50 point that --smoke compares at.
+  args.add_flag("coflows", "60:240:60", "coflow-count sweep lo:hi:step");
+  args.add_flag("racks", "25:50:25", "rack-count sweep lo:hi:step");
+  args.add_flag("seed", "11", "workload rng seed");
+  args.add_flag("reps", "3", "timing repetitions per cell (min taken)");
+  args.add_flag("out", "BENCH_sim.json", "output JSON path (full mode)");
+  args.add_flag("smoke", "false",
+                "regression check against --baseline and exit");
+  args.add_flag("baseline", "BENCH_sim.json",
+                "baseline JSON for --smoke comparisons");
+  args.parse(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
+
+  if (args.provided("smoke")) return run_smoke(args.get("baseline"), seed);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"bench_sim_scale\",\n  \"seed\": " << seed
+       << ",\n  \"results\": [\n";
+  bool first = true, ok = true;
+  ccf::util::Table t({"workload", "allocator", "events", "reference ms",
+                      "incremental ms", "speedup"});
+  for (const std::int64_t coflows : args.get_int_sweep("coflows")) {
+    for (const std::int64_t racks : args.get_int_sweep("racks")) {
+      const auto specs = make_workload(static_cast<std::size_t>(racks),
+                                       static_cast<std::size_t>(coflows), seed);
+      for (const char* name : kAllocators) {
+        const auto ref = run_best(specs, static_cast<std::size_t>(racks), name,
+                                  ccf::net::SimEngine::kReference, reps);
+        const auto inc = run_best(specs, static_cast<std::size_t>(racks), name,
+                                  ccf::net::SimEngine::kIncremental, reps);
+        std::string why;
+        if (!reports_agree(ref.report, inc.report, why)) {
+          std::cerr << "ENGINE MISMATCH (" << coflows << "x" << racks << ", "
+                    << name << "): " << why << "\n";
+          ok = false;
+        }
+        const double speedup = inc.ms > 0.0 ? ref.ms / inc.ms : 0.0;
+        std::ostringstream wl, ev, rms, ims, sp;
+        wl << coflows << "x" << racks;
+        ev << inc.report.events;
+        rms.precision(2);
+        rms << std::fixed << ref.ms;
+        ims.precision(2);
+        ims << std::fixed << inc.ms;
+        sp.precision(1);
+        sp << std::fixed << speedup << "x";
+        t.add_row({wl.str(), name, ev.str(), rms.str(), ims.str(), sp.str()});
+        if (!first) json << ",\n";
+        first = false;
+        json << "    {\"allocator\": \"" << name
+             << "\", \"coflows\": " << coflows << ", \"racks\": " << racks
+             << ", \"events\": " << inc.report.events
+             << ", \"reference_ms\": " << ref.ms
+             << ", \"incremental_ms\": " << inc.ms << "}";
+      }
+    }
+  }
+  json << "\n  ]\n}\n";
+  t.print(std::cout);
+  if (!ok) return 1;
+
+  std::ofstream out(args.get("out"));
+  out << json.str();
+  std::cout << "\nwrote " << args.get("out") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_sim_scale: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -7,7 +7,6 @@
 // approximation in DESIGN.md.
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "net/allocator.hpp"
 
@@ -29,34 +28,56 @@ class AaloAllocator final : public RateAllocator {
  public:
   std::string name() const override { return "aalo"; }
 
-  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
-                const Network& network, double) override {
-    std::vector<std::uint32_t> order;
-    order.reserve(coflows.size());
-    for (const CoflowState& c : coflows) {
-      if (c.started && !c.completed) order.push_back(c.id);
+  void allocate(AllocatorContext& ctx, const ActiveFlows& flows,
+                std::span<CoflowState> coflows, double) override {
+    // Per-coflow water-fill structures survive across epochs: a coflow's
+    // member set (and, with the engine's stable compaction, its relative
+    // order) only changes when the coflow is touched, so only dirty coflows
+    // rebuild. A rebuilt structure is identical to the cached one whenever
+    // membership didn't change, which keeps this bit-identical to full
+    // recomputation. A new context generation (rebind, throwaway bridge
+    // context, reference reset) drops every cached structure.
+    if (ctx_seen_ != &ctx || gen_seen_ != ctx.generation()) {
+      ctx_seen_ = &ctx;
+      gen_seen_ = ctx.generation();
+      cache_.assign(ctx.coflow_count(), {});
     }
-    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-      const int qa = queue_of(coflows[a].bytes_sent);
-      const int qb = queue_of(coflows[b].bytes_sent);
-      if (qa != qb) return qa < qb;
-      if (coflows[a].arrival != coflows[b].arrival) {
-        return coflows[a].arrival < coflows[b].arrival;
-      }
-      return a < b;
-    });
+    const auto sched = ctx.schedulable(coflows);
+    for (const std::uint32_t c : ctx.dirty()) cache_[c].valid = false;
+    ctx.clear_dirty();
+    // Queues are cheap to derive from bytes_sent — compute them fresh each
+    // epoch rather than tracking threshold crossings.
+    for (const std::uint32_t c : sched) {
+      ctx.key[c] = static_cast<double>(queue_of(coflows[c].bytes_sent));
+    }
+    ctx.order.assign(sched.begin(), sched.end());
+    std::sort(ctx.order.begin(), ctx.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ctx.key[a] != ctx.key[b]) return ctx.key[a] < ctx.key[b];
+                if (coflows[a].arrival != coflows[b].arrival) {
+                  return coflows[a].arrival < coflows[b].arrival;
+                }
+                return a < b;
+              });
 
-    std::vector<double> residual = detail::link_residuals(network);
-    std::vector<std::vector<Flow*>> by_coflow(coflows.size());
-    for (Flow& f : active) {
-      f.rate = 0.0;
-      by_coflow[f.coflow].push_back(&f);
+    const std::span<double> residual = ctx.reset_residual();
+    ctx.group_by_coflow(flows);
+    double min_dt = AllocatorContext::kInfDt;
+    for (const std::uint32_t cid : ctx.order) {
+      const auto members = ctx.members(cid);
+      if (members.empty()) continue;
+      detail::GroupStructure& gs = cache_[cid];
+      if (!gs.valid) detail::build_group_structure(flows, members, ctx, gs);
+      min_dt = std::min(
+          min_dt, detail::maxmin_fill_prepared(flows, members, gs, ctx, residual));
     }
-    for (const std::uint32_t cid : order) {
-      if (by_coflow[cid].empty()) continue;
-      detail::maxmin_fill(by_coflow[cid], network, residual);
-    }
+    ctx.set_min_dt(min_dt);
   }
+
+ private:
+  std::vector<detail::GroupStructure> cache_;
+  const AllocatorContext* ctx_seen_ = nullptr;
+  std::uint64_t gen_seen_ = 0;
 };
 
 }  // namespace

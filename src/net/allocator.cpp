@@ -1,116 +1,405 @@
 #include "net/allocator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "util/parallel.hpp"
+
 namespace ccf::net {
+
+namespace {
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+/// Process-unique stamp for AllocatorContext::generation(). A fresh stamp on
+/// every bind/reset lets allocator-private caches detect throwaway contexts
+/// (the legacy AoS bridge makes a new one per call) even when the object
+/// lands at a reused address.
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+/// Above this many group members, maxmin_fill's setup pass (rate zeroing +
+/// per-link incidence counting) runs through util::parallel_for. The
+/// water-filling iterations themselves are inherently sequential (each
+/// bottleneck choice depends on the previous freeze), so only the
+/// embarrassingly parallel setup fans out.
+constexpr std::size_t kParallelSetupThreshold = 4096;
+constexpr std::size_t kParallelSetupGrain = 2048;
+
+}  // namespace
+
+void AllocatorContext::bind(const Network& network, std::size_t coflow_count) {
+  network_ = &network;
+  coflow_count_ = coflow_count;
+  generation_ = next_generation();
+  capacity_.resize(network.link_count());
+  for (std::size_t l = 0; l < capacity_.size(); ++l) {
+    capacity_[l] = network.link_capacity(static_cast<Network::LinkId>(l));
+  }
+  residual_.assign(capacity_.size(), 0.0);
+  link_table_.clear();
+  dirty_.clear();
+  dirty_flag_.assign(coflow_count, 0);
+  key.assign(coflow_count, 0.0);
+  key_valid.assign(coflow_count, 0);
+  coflow_dt.assign(coflow_count, kInfDt);
+  order.clear();
+  order_valid = false;
+  sched_.clear();
+  sched_pos_.assign(coflow_count, kNoSlot);
+  sched_seen_dirty_ = 0;
+  sched_primed_ = false;
+  groups_valid_ = false;
+  min_dt_ = kInfDt;
+  min_dt_valid_ = false;
+  rejection_pending = false;
+}
+
+std::span<const Network::LinkId> AllocatorContext::links(std::uint32_t src,
+                                                         std::uint32_t dst) {
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  auto it = link_table_.find(pair);
+  if (it == link_table_.end()) {
+    it = link_table_.emplace(pair, std::vector<Network::LinkId>{}).first;
+    network_->append_links(src, dst, it->second);
+  }
+  return it->second;
+}
+
+std::span<double> AllocatorContext::reset_residual() {
+  std::copy(capacity_.begin(), capacity_.end(), residual_.begin());
+  return residual_;
+}
+
+void AllocatorContext::begin_epoch() {
+  groups_valid_ = false;
+  min_dt_ = kInfDt;
+  min_dt_valid_ = false;
+  rejection_pending = false;
+}
+
+void AllocatorContext::reset_caches() {
+  generation_ = next_generation();
+  clear_dirty();
+  std::fill(key_valid.begin(), key_valid.end(), 0);
+  std::fill(coflow_dt.begin(), coflow_dt.end(), kInfDt);
+  order.clear();
+  order_valid = false;
+  sched_.clear();
+  std::fill(sched_pos_.begin(), sched_pos_.end(), kNoSlot);
+  sched_primed_ = false;
+}
+
+void AllocatorContext::touch(std::uint32_t coflow) {
+  if (coflow >= dirty_flag_.size() || dirty_flag_[coflow]) return;
+  dirty_flag_[coflow] = 1;
+  dirty_.push_back(coflow);
+}
+
+void AllocatorContext::clear_dirty() {
+  for (const std::uint32_t c : dirty_) dirty_flag_[c] = 0;
+  dirty_.clear();
+  sched_seen_dirty_ = 0;
+}
+
+void AllocatorContext::group_by_coflow(const ActiveFlows& flows) {
+  if (groups_valid_) return;
+  groups_valid_ = true;
+  group_offset_.assign(coflow_count_ + 1, 0);
+  for (std::size_t i = 0; i < flows.count; ++i) {
+    ++group_offset_[flows.coflow[i] + 1];
+  }
+  for (std::size_t c = 1; c <= coflow_count_; ++c) {
+    group_offset_[c] += group_offset_[c - 1];
+  }
+  group_flow_.resize(flows.count);
+  group_cursor_.assign(group_offset_.begin(), group_offset_.end() - 1);
+  for (std::size_t i = 0; i < flows.count; ++i) {
+    group_flow_[group_cursor_[flows.coflow[i]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+}
+
+std::span<const std::uint32_t> AllocatorContext::schedulable(
+    std::span<const CoflowState> coflows) {
+  if (!sched_primed_) {
+    sched_primed_ = true;
+    for (std::uint32_t c = 0; c < coflows.size(); ++c) {
+      if (coflows[c].started && !coflows[c].completed) {
+        sched_pos_[c] = static_cast<std::uint32_t>(sched_.size());
+        sched_.push_back(c);
+      }
+    }
+  }
+  for (; sched_seen_dirty_ < dirty_.size(); ++sched_seen_dirty_) {
+    const std::uint32_t c = dirty_[sched_seen_dirty_];
+    const bool want = coflows[c].started && !coflows[c].completed;
+    const bool have = sched_pos_[c] != kNoSlot;
+    if (want && !have) {
+      sched_pos_[c] = static_cast<std::uint32_t>(sched_.size());
+      sched_.push_back(c);
+    } else if (!want && have) {
+      const std::uint32_t last = sched_.back();
+      sched_[sched_pos_[c]] = last;
+      sched_pos_[last] = sched_pos_[c];
+      sched_.pop_back();
+      sched_pos_[c] = kNoSlot;
+    }
+  }
+  return sched_;
+}
 
 namespace detail {
 
-std::vector<double> link_residuals(const Network& network) {
-  std::vector<double> residual(network.link_count());
-  for (std::size_t l = 0; l < residual.size(); ++l) {
-    residual[l] = network.link_capacity(static_cast<Network::LinkId>(l));
+void build_group_structure(const ActiveFlows& flows,
+                           std::span<const std::uint32_t> members,
+                           AllocatorContext& ctx, GroupStructure& gs) {
+  const std::size_t m_count = members.size();
+  auto& link_slot = ctx.scratch_u32b;  // link id -> dense slot (kNoSlot-clean)
+  if (link_slot.size() < ctx.link_count()) {
+    link_slot.assign(ctx.link_count(), kNoSlot);
   }
-  return residual;
+
+  // Discover the links this group uses; ascending ids so bottleneck ties
+  // resolve to the smallest link id, matching a full 0..L scan.
+  gs.used.clear();
+  std::size_t incidences = 0;
+  bool all_linked = true;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::uint32_t p = members[m];
+    incidences += flows.link_len[p];
+    all_linked = all_linked && flows.link_len[p] != 0;
+    for (const auto l : flows.links(p)) {
+      if (link_slot[l] == kNoSlot) {
+        link_slot[l] = 0;  // provisional; real slots assigned after sorting
+        gs.used.push_back(l);
+      }
+    }
+  }
+  std::sort(gs.used.begin(), gs.used.end());
+  const std::size_t u_count = gs.used.size();
+  for (std::size_t u = 0; u < u_count; ++u) {
+    link_slot[gs.used[u]] = static_cast<std::uint32_t>(u);
+  }
+
+  // Incidence counts. Parallel for big groups (per-chunk counts merged
+  // afterwards); sequential otherwise.
+  gs.cnt.assign(u_count, 0);
+  if (m_count >= kParallelSetupThreshold) {
+    const std::size_t chunks =
+        util::parallel_chunk_count(m_count, kParallelSetupGrain);
+    std::vector<std::uint32_t> chunk_cnt(chunks * u_count, 0);
+    util::parallel_for(
+        m_count, kParallelSetupGrain, [&](std::size_t b, std::size_t e) {
+          std::uint32_t* local =
+              chunk_cnt.data() + (b / kParallelSetupGrain) * u_count;
+          for (std::size_t m = b; m < e; ++m) {
+            for (const auto l : flows.links(members[m])) ++local[link_slot[l]];
+          }
+        });
+    for (std::size_t k = 0; k < chunks; ++k) {
+      const std::uint32_t* local = chunk_cnt.data() + k * u_count;
+      for (std::size_t u = 0; u < u_count; ++u) gs.cnt[u] += local[u];
+    }
+  } else {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      for (const auto l : flows.links(members[m])) ++gs.cnt[link_slot[l]];
+    }
+  }
+
+  // Per-link member lists (counting-sort scatter preserves member order, so
+  // the freeze loop visits flows in the same order a full scan would).
+  gs.off.resize(u_count + 1);
+  gs.off[0] = 0;
+  for (std::size_t u = 0; u < u_count; ++u) gs.off[u + 1] = gs.off[u] + gs.cnt[u];
+  gs.flat.resize(incidences);
+  // Scatter using off itself as the moving cursor, then shift it back down
+  // (post-scatter off[u] == original off[u+1]).
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::uint32_t p = members[m];
+    for (const auto l : flows.links(p)) {
+      gs.flat[gs.off[link_slot[l]]++] = static_cast<std::uint32_t>(m);
+    }
+  }
+  for (std::size_t u = u_count; u > 0; --u) gs.off[u] = gs.off[u - 1];
+  gs.off[0] = 0;
+
+  // Restore the kNoSlot-clean invariant for the next caller.
+  for (const auto l : gs.used) link_slot[l] = kNoSlot;
+  gs.all_linked = all_linked;
+  gs.valid = true;
 }
 
-void maxmin_fill(std::span<Flow*> flows, const Network& network,
-                 std::span<double> residual) {
-  // Materialize each flow's link set once.
-  std::vector<std::uint32_t> link_index;   // concatenated link ids
-  std::vector<std::uint32_t> link_offset;  // per-flow start into link_index
-  link_offset.reserve(flows.size() + 1);
-  link_offset.push_back(0);
-  std::vector<Network::LinkId> scratch;
-  std::vector<std::size_t> count(residual.size(), 0);
-  for (Flow* f : flows) {
-    f->rate = 0.0;
-    scratch.clear();
-    network.append_links(f->src, f->dst, scratch);
-    for (const auto l : scratch) {
-      link_index.push_back(l);
-      ++count[l];
+void build_group_structure_dense(const ActiveFlows& flows,
+                                 std::span<const std::uint32_t> members,
+                                 AllocatorContext& ctx, GroupStructure& gs) {
+  const std::size_t m_count = members.size();
+  const std::size_t link_count = ctx.link_count();
+  // Identity slot mapping: maxmin_fill_prepared's link_slot ends up mapping
+  // l -> l, so the per-incidence indirection stays but never misses, and the
+  // discovery pass plus sort disappear. A link with no members keeps
+  // cnt == 0; its bottleneck share is inf (or NaN at zero residual), which
+  // the strict < never selects, so the freeze sequence — and every rate —
+  // is identical to the generic builder's.
+  if (gs.used.size() != link_count) {
+    gs.used.resize(link_count);
+    std::iota(gs.used.begin(), gs.used.end(), 0u);
+  }
+  gs.cnt.assign(link_count, 0);
+  std::size_t incidences = 0;
+  bool all_linked = true;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::uint32_t p = members[m];
+    incidences += flows.link_len[p];
+    all_linked = all_linked && flows.link_len[p] != 0;
+    for (const auto l : flows.links(p)) ++gs.cnt[l];
+  }
+  gs.off.resize(link_count + 1);
+  gs.off[0] = 0;
+  for (std::size_t u = 0; u < link_count; ++u) {
+    gs.off[u + 1] = gs.off[u] + gs.cnt[u];
+  }
+  gs.flat.resize(incidences);
+  // Same off-as-cursor scatter as the generic builder (order-preserving).
+  for (std::size_t m = 0; m < m_count; ++m) {
+    for (const auto l : flows.links(members[m])) {
+      gs.flat[gs.off[l]++] = static_cast<std::uint32_t>(m);
     }
-    link_offset.push_back(static_cast<std::uint32_t>(link_index.size()));
+  }
+  for (std::size_t u = link_count; u > 0; --u) gs.off[u] = gs.off[u - 1];
+  gs.off[0] = 0;
+  gs.all_linked = all_linked;
+  gs.valid = true;
+}
+
+double maxmin_fill_prepared(const ActiveFlows& flows,
+                            std::span<const std::uint32_t> members,
+                            const GroupStructure& gs, AllocatorContext& ctx,
+                            std::span<double> residual) {
+  constexpr double kInf = AllocatorContext::kInfDt;
+  const std::size_t m_count = members.size();
+  if (m_count == 0) return kInf;
+  const std::size_t u_count = gs.used.size();
+
+  auto& link_slot = ctx.scratch_u32b;  // link id -> dense slot (kNoSlot-clean)
+  auto& cnt = ctx.scratch_u32c;        // working copy of gs.cnt
+  auto& frozen = ctx.scratch_u32f;     // per-member frozen flag
+  // Densified used-link residuals: the bottleneck scan below reruns every
+  // round, and gather-loads through gs.used are what it would wait on. The
+  // dense copy sees the exact subtraction sequence the residual span would,
+  // so the values written back are bit-identical. A slot whose last flow
+  // froze is flushed immediately and parked at +inf, which makes its share
+  // inf/0 == +inf — never selected by the strict < — so the scan needs no
+  // cnt test. scratch_f64 is all-zero on entry (madd invariant).
+  auto& res = ctx.scratch_f64;
+
+  if (link_slot.size() < residual.size()) {
+    link_slot.assign(residual.size(), kNoSlot);
+  }
+  for (std::size_t u = 0; u < u_count; ++u) {
+    link_slot[gs.used[u]] = static_cast<std::uint32_t>(u);
+  }
+  cnt.assign(gs.cnt.begin(), gs.cnt.end());
+  if (res.size() < u_count) res.resize(u_count, 0.0);
+  for (std::size_t u = 0; u < u_count; ++u) res[u] = residual[gs.used[u]];
+
+  // Every member crossing a link is frozen (and thus rated) below; members
+  // without links can only be rated by an explicit zero. Skipped in the
+  // common all-linked case — the freeze loop overwrites every rate anyway.
+  if (!gs.all_linked) {
+    for (std::size_t m = 0; m < m_count; ++m) flows.rate[members[m]] = 0.0;
   }
 
-  std::vector<bool> frozen(flows.size(), false);
-  std::size_t remaining = flows.size();
-  while (remaining > 0) {
+  frozen.assign(m_count, 0);
+  std::size_t remaining_flows = m_count;
+  double min_dt = kInf;
+  while (remaining_flows > 0) {
     // Bottleneck link: smallest fair share among links in use.
-    double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = residual.size();
-    for (std::size_t l = 0; l < residual.size(); ++l) {
-      if (count[l] == 0) continue;
-      const double share =
-          std::max(residual[l], 0.0) / static_cast<double>(count[l]);
+    double best_share = kInf;
+    std::size_t best = u_count;
+    for (std::size_t u = 0; u < u_count; ++u) {
+      const double share = std::max(res[u], 0.0) / static_cast<double>(cnt[u]);
       if (share < best_share) {
         best_share = share;
-        best_link = l;
+        best = u;
       }
     }
-    if (best_link == residual.size()) break;  // defensive
+    if (best == u_count) break;  // all-zero-link group, or defensive
     // Freeze every unfrozen flow crossing the bottleneck link at the share.
-    for (std::size_t idx = 0; idx < flows.size(); ++idx) {
-      if (frozen[idx]) continue;
-      bool crosses = false;
-      for (std::uint32_t o = link_offset[idx]; o < link_offset[idx + 1]; ++o) {
-        if (link_index[o] == best_link) {
-          crosses = true;
-          break;
+    for (std::uint32_t o = gs.off[best]; o < gs.off[best + 1]; ++o) {
+      const std::uint32_t m = gs.flat[o];
+      if (frozen[m]) continue;
+      const std::uint32_t p = members[m];
+      flows.rate[p] = best_share;
+      frozen[m] = 1;
+      --remaining_flows;
+      if (best_share > 0.0) {
+        min_dt = std::min(min_dt, flows.remaining[p] / best_share);
+      }
+      for (const auto l : flows.links(p)) {
+        const std::uint32_t s = link_slot[l];
+        res[s] -= best_share;
+        if (--cnt[s] == 0) {  // final value for this link: flush and park
+          residual[l] = res[s];
+          res[s] = kInf;
         }
       }
-      if (!crosses) continue;
-      flows[idx]->rate = best_share;
-      frozen[idx] = true;
-      --remaining;
-      for (std::uint32_t o = link_offset[idx]; o < link_offset[idx + 1]; ++o) {
-        residual[link_index[o]] -= best_share;
-        --count[link_index[o]];
-      }
     }
   }
+
+  // Write back links still carrying unfrozen flows (defensive-break path)
+  // and restore the scratch invariants for the next caller.
+  for (std::size_t u = 0; u < u_count; ++u) {
+    if (cnt[u] != 0) residual[gs.used[u]] = res[u];
+    res[u] = 0.0;
+  }
+  for (const auto l : gs.used) link_slot[l] = kNoSlot;
+  return min_dt;
 }
 
-void madd_sequential(std::span<Flow> active,
-                     std::span<const std::uint32_t> order,
-                     const Network& network, std::span<double> residual) {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+double maxmin_fill(const ActiveFlows& flows,
+                   std::span<const std::uint32_t> members,
+                   AllocatorContext& ctx, std::span<double> residual) {
+  if (members.empty()) return AllocatorContext::kInfDt;
+  build_group_structure(flows, members, ctx, ctx.scratch_group);
+  return maxmin_fill_prepared(flows, members, ctx.scratch_group, ctx, residual);
+}
 
-  // Bucket active flow indices per coflow; only flows of coflows named in
-  // `order` are touched (their rates reset), so callers can compose this
-  // with pre-allocated guarantees for other coflows.
-  std::uint32_t max_id = 0;
-  for (const Flow& f : active) max_id = std::max(max_id, f.coflow);
-  std::vector<bool> in_order(max_id + 1, false);
-  for (const std::uint32_t cid : order) {
-    if (cid <= max_id) in_order[cid] = true;
-  }
-  std::vector<std::vector<std::size_t>> by_coflow(max_id + 1);
-  for (std::size_t idx = 0; idx < active.size(); ++idx) {
-    if (!in_order[active[idx].coflow]) continue;
-    active[idx].rate = 0.0;
-    by_coflow[active[idx].coflow].push_back(idx);
-  }
+double madd_sequential(const ActiveFlows& flows,
+                       std::span<const std::uint32_t> order,
+                       AllocatorContext& ctx, std::span<double> residual) {
+  constexpr double kInf = AllocatorContext::kInfDt;
+  ctx.group_by_coflow(flows);
 
-  std::vector<double> load(residual.size());
-  std::vector<Network::LinkId> scratch;
+  auto& touched = ctx.scratch_u32a;  // links loaded by the current coflow
+  auto& load = ctx.scratch_f64;      // per-link load (all-zero invariant)
+  if (load.size() < residual.size()) load.resize(residual.size(), 0.0);
+
+  double min_dt_all = kInf;
   for (const std::uint32_t cid : order) {
-    if (cid >= by_coflow.size() || by_coflow[cid].empty()) continue;
-    const auto& members = by_coflow[cid];
-    std::fill(load.begin(), load.end(), 0.0);
-    for (const std::size_t idx : members) {
-      scratch.clear();
-      network.append_links(active[idx].src, active[idx].dst, scratch);
-      for (const auto l : scratch) load[l] += active[idx].remaining;
+    ctx.coflow_dt[cid] = kInf;
+    const auto members = ctx.members(cid);
+    if (members.empty()) continue;
+    touched.clear();
+    for (const std::uint32_t p : members) {
+      flows.rate[p] = 0.0;
+      const double rem = flows.remaining[p];
+      for (const auto l : flows.links(p)) {
+        if (load[l] == 0.0) touched.push_back(l);
+        load[l] += rem;
+      }
     }
     // Γ against *residual* capacities; an exhausted link starves the coflow
     // for this epoch (backfilling semantics).
     double gamma = 0.0;
-    for (std::size_t l = 0; l < residual.size(); ++l) {
+    for (const auto l : touched) {
       if (load[l] <= 0.0) continue;
       if (residual[l] > 1e-12) {
         gamma = std::max(gamma, load[l] / residual[l]);
@@ -119,47 +408,84 @@ void madd_sequential(std::span<Flow> active,
         break;
       }
     }
+    for (const auto l : touched) load[l] = 0.0;  // restore invariant
     if (gamma <= 0.0 || gamma == kInf) continue;  // nothing to send or starved
-    for (const std::size_t idx : members) {
-      const double rate = active[idx].remaining / gamma;
-      active[idx].rate = rate;
-      scratch.clear();
-      network.append_links(active[idx].src, active[idx].dst, scratch);
-      for (const auto l : scratch) residual[l] -= rate;
-    }
-    // Clamp tiny negative residuals from floating-point accumulation.
-    for (double& r : residual) r = std::max(r, 0.0);
-  }
-}
-
-std::vector<double> coflow_bottlenecks(std::span<const Flow> active,
-                                       std::size_t coflow_count,
-                                       const Network& network) {
-  std::vector<double> load(coflow_count * network.link_count(), 0.0);
-  std::vector<Network::LinkId> scratch;
-  for (const Flow& f : active) {
-    scratch.clear();
-    network.append_links(f.src, f.dst, scratch);
-    for (const auto l : scratch) {
-      load[f.coflow * network.link_count() + l] += f.remaining;
-    }
-  }
-  std::vector<double> bottleneck(coflow_count, 0.0);
-  for (std::size_t c = 0; c < coflow_count; ++c) {
-    double g = 0.0;
-    for (std::size_t l = 0; l < network.link_count(); ++l) {
-      const double v = load[c * network.link_count() + l];
-      if (v > 0.0) {
-        g = std::max(
-            g, v / network.link_capacity(static_cast<Network::LinkId>(l)));
+    double dt = kInf;
+    for (const std::uint32_t p : members) {
+      const double rate = flows.remaining[p] / gamma;
+      flows.rate[p] = rate;
+      dt = std::min(dt, flows.remaining[p] / rate);
+      for (const auto l : flows.links(p)) {
+        residual[l] -= rate;
+        // Clamp tiny negative residuals from floating-point accumulation.
+        residual[l] = std::max(residual[l], 0.0);
       }
     }
-    bottleneck[c] = g;
+    ctx.coflow_dt[cid] = dt;
+    min_dt_all = std::min(min_dt_all, dt);
   }
-  return bottleneck;
+  return min_dt_all;
+}
+
+double coflow_gamma(const ActiveFlows& flows,
+                    std::span<const std::uint32_t> members,
+                    AllocatorContext& ctx) {
+  auto& touched = ctx.scratch_u32a;
+  auto& load = ctx.scratch_f64;
+  const auto caps = ctx.capacities();
+  if (load.size() < caps.size()) load.resize(caps.size(), 0.0);
+  touched.clear();
+  for (const std::uint32_t p : members) {
+    const double rem = flows.remaining[p];
+    for (const auto l : flows.links(p)) {
+      if (load[l] == 0.0) touched.push_back(l);
+      load[l] += rem;
+    }
+  }
+  double g = 0.0;
+  for (const auto l : touched) {
+    if (load[l] > 0.0) g = std::max(g, load[l] / caps[l]);
+    load[l] = 0.0;  // restore invariant
+  }
+  return g;
 }
 
 }  // namespace detail
+
+void RateAllocator::allocate(std::span<Flow> active,
+                             std::span<CoflowState> coflows,
+                             const Network& network, double now) {
+  // Bridge the legacy AoS entry point onto the SoA path with a throwaway
+  // context: correct but uncached — the simulator uses the SoA path directly.
+  AllocatorContext ctx;
+  ctx.bind(network, coflows.size());
+  const std::size_t n = active.size();
+  std::vector<std::uint32_t> src(n), dst(n), cof(n), link_len(n);
+  std::vector<double> remaining(n), rate(n, 0.0);
+  std::vector<const Network::LinkId*> link_ptr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = active[i].src;
+    dst[i] = active[i].dst;
+    cof[i] = active[i].coflow;
+    remaining[i] = active[i].remaining;
+    rate[i] = active[i].rate;
+    const auto links = ctx.links(active[i].src, active[i].dst);
+    link_ptr[i] = links.data();
+    link_len[i] = static_cast<std::uint32_t>(links.size());
+  }
+  ActiveFlows view;
+  view.src = src.data();
+  view.dst = dst.data();
+  view.coflow = cof.data();
+  view.remaining = remaining.data();
+  view.rate = rate.data();
+  view.link_ptr = link_ptr.data();
+  view.link_len = link_len.data();
+  view.count = n;
+  ctx.begin_epoch();
+  allocate(ctx, view, coflows, now);
+  for (std::size_t i = 0; i < n; ++i) active[i].rate = rate[i];
+}
 
 // One factory per policy translation unit.
 std::unique_ptr<RateAllocator> make_fair_sharing_allocator();

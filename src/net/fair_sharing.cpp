@@ -3,7 +3,7 @@
 // active flow competes individually; no flow is ever idle while its links
 // have spare capacity, yet the coflow's slowest flow can finish much later
 // than Γ (Fig. 2(a) vs 2(b)).
-#include <vector>
+#include <numeric>
 
 #include "net/allocator.hpp"
 
@@ -15,13 +15,20 @@ class FairSharingAllocator final : public RateAllocator {
  public:
   std::string name() const override { return "fair"; }
 
-  void allocate(std::span<Flow> active, std::span<CoflowState>,
-                const Network& network, double) override {
-    std::vector<double> residual = detail::link_residuals(network);
-    std::vector<Flow*> ptrs;
-    ptrs.reserve(active.size());
-    for (Flow& f : active) ptrs.push_back(&f);
-    detail::maxmin_fill(ptrs, network, residual);
+  void allocate(AllocatorContext& ctx, const ActiveFlows& flows,
+                std::span<CoflowState>, double) override {
+    // Coflow-agnostic: the dirty list carries no information for this policy.
+    ctx.clear_dirty();
+    const std::span<double> residual = ctx.reset_residual();
+    // One global group holding every active flow. It touches essentially
+    // every link, so use the dense identity-slot structure builder.
+    ctx.order.resize(flows.count);
+    std::iota(ctx.order.begin(), ctx.order.end(), 0u);
+    detail::build_group_structure_dense(flows, ctx.order, ctx,
+                                        ctx.scratch_group);
+    ctx.set_min_dt(detail::maxmin_fill_prepared(flows, ctx.order,
+                                                ctx.scratch_group, ctx,
+                                                residual));
   }
 };
 

@@ -2,8 +2,12 @@
 // gets rate remaining/Γ so all flows finish together at the bottleneck bound.
 // For a single coflow this is the optimal schedule of Fig. 2(b) and the
 // network layer the paper gives to all three placement schedulers (§IV-A).
+//
+// The FIFO order only changes when a coflow starts or completes, so it is
+// maintained incrementally: dirty coflows are inserted into / erased from the
+// cached sorted order (ctx.order) instead of re-sorting every event.
+// ctx.key_valid doubles as the "currently in the order" membership flag.
 #include <algorithm>
-#include <vector>
 
 #include "net/allocator.hpp"
 
@@ -15,22 +19,44 @@ class MaddAllocator final : public RateAllocator {
  public:
   std::string name() const override { return "madd"; }
 
-  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
-                const Network& network, double) override {
-    std::vector<double> residual = detail::link_residuals(network);
-    // FIFO: arrival order, coflow id as tiebreak.
-    std::vector<std::uint32_t> order;
-    order.reserve(coflows.size());
-    for (const CoflowState& c : coflows) {
-      if (c.started && !c.completed) order.push_back(c.id);
-    }
-    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+  void allocate(AllocatorContext& ctx, const ActiveFlows& flows,
+                std::span<CoflowState> coflows, double) override {
+    const auto sched = ctx.schedulable(coflows);
+    // FIFO: arrival order, coflow id as tiebreak — a total order, so the
+    // maintained sequence is identical to sorting from scratch.
+    const auto before = [&](std::uint32_t a, std::uint32_t b) {
       if (coflows[a].arrival != coflows[b].arrival) {
         return coflows[a].arrival < coflows[b].arrival;
       }
       return a < b;
-    });
-    detail::madd_sequential(active, order, network, residual);
+    };
+    if (!ctx.order_valid) {
+      ctx.order.assign(sched.begin(), sched.end());
+      std::sort(ctx.order.begin(), ctx.order.end(), before);
+      std::fill(ctx.key_valid.begin(), ctx.key_valid.end(), 0);
+      for (const std::uint32_t c : ctx.order) ctx.key_valid[c] = 1;
+      ctx.order_valid = true;
+    } else {
+      for (const std::uint32_t c : ctx.dirty()) {
+        const bool want = coflows[c].started && !coflows[c].completed;
+        const bool have = ctx.key_valid[c] != 0;
+        if (want == have) continue;
+        const auto it =
+            std::lower_bound(ctx.order.begin(), ctx.order.end(), c, before);
+        if (want) {
+          ctx.order.insert(it, c);
+          ctx.key_valid[c] = 1;
+        } else {
+          ctx.order.erase(it);  // total order: it points exactly at c
+          ctx.key_valid[c] = 0;
+        }
+      }
+    }
+    ctx.clear_dirty();
+
+    const std::span<double> residual = ctx.reset_residual();
+    ctx.group_by_coflow(flows);
+    ctx.set_min_dt(detail::madd_sequential(flows, ctx.order, ctx, residual));
   }
 };
 

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace ccf::net {
+
+namespace {
+
+/// Chunk size for the parallel flow-advance (also the per-chunk scratch-slot
+/// stride; see util::parallel_for's chunk-boundary guarantee).
+constexpr std::size_t kAdvanceGrain = 2048;
+
+/// Per-chunk accumulator for the parallel advance. `delta` keeps an all-zero
+/// invariant between events (the merge clears exactly the touched entries).
+struct ChunkScratch {
+  std::vector<double> delta;           ///< per-coflow bytes moved this epoch
+  std::vector<std::uint32_t> touched;  ///< coflows with delta != 0
+  double total = 0.0;                  ///< bytes moved by this chunk
+  bool completed = false;              ///< some flow in the chunk finished
+};
+
+}  // namespace
 
 double SimReport::average_cct() const noexcept {
   if (coflows.empty()) return 0.0;
@@ -14,6 +34,12 @@ double SimReport::average_cct() const noexcept {
 }
 
 double SimReport::cct_of(const std::string& name) const {
+  if (!name_index.empty()) {
+    const auto it = name_index.find(name);
+    if (it != name_index.end()) return coflows[it->second].cct();
+    throw std::out_of_range("SimReport: no coflow named " + name);
+  }
+  // Manually assembled report: fall back to a linear scan.
   for (const CoflowResult& c : coflows) {
     if (c.name == name) return c.cct();
   }
@@ -99,38 +125,146 @@ SimReport Simulator::run() {
 
   SimReport report;
   report.coflows.resize(specs_.size());
+  report.name_index.reserve(specs_.size());
   for (std::size_t c = 0; c < specs_.size(); ++c) {
     report.coflows[c].name = specs_[c].name;
     report.coflows[c].arrival = specs_[c].arrival;
     report.coflows[c].bytes = states[c].bytes_total;
     report.coflows[c].flows = states[c].flows_total;
     report.coflows[c].deadline = states[c].deadline;
+    report.name_index.emplace(specs_[c].name, c);
   }
+
+  // Hot per-flow state in SoA columns (remaining/rate drive every event; the
+  // cached link spans make L_ij lookups pointer dereferences). The columns
+  // are swapped together, so a flow's fields always share one index.
+  const std::size_t n = flows.size();
+  std::vector<std::uint32_t> src(n), dst(n), cof(n), link_len(n);
+  std::vector<double> start(n), remaining(n), rate(n, 0.0);
+  std::vector<const Network::LinkId*> link_ptr(n);
+
+  AllocatorContext ctx;
+  ctx.bind(*network_, states.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = flows[i].src;
+    dst[i] = flows[i].dst;
+    cof[i] = flows[i].coflow;
+    start[i] = flows[i].start;
+    remaining[i] = flows[i].remaining;
+    // Warm the link table now: hot paths then never mutate it (the spans are
+    // node-stable, so the pointers survive later lookups).
+    const auto links = ctx.links(src[i], dst[i]);
+    link_ptr[i] = links.data();
+    link_len[i] = static_cast<std::uint32_t>(links.size());
+  }
+
+  ActiveFlows view;
+  view.src = src.data();
+  view.dst = dst.data();
+  view.coflow = cof.data();
+  view.remaining = remaining.data();
+  view.rate = rate.data();
+  view.link_ptr = link_ptr.data();
+  view.link_len = link_len.data();
+
+  const bool incremental = config_.engine == SimEngine::kIncremental;
+  if (config_.record_trace) trace_.reserve(n + specs_.size() + 16);
+
+  // Coflow arrival cursor: replaces the per-event O(#coflows) sweep that
+  // flipped `started` and closed zero-flow coflows.
+  std::vector<std::uint32_t> coflow_by_arrival(states.size());
+  std::iota(coflow_by_arrival.begin(), coflow_by_arrival.end(), 0u);
+  std::sort(coflow_by_arrival.begin(), coflow_by_arrival.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (states[a].arrival != states[b].arrival) {
+                return states[a].arrival < states[b].arrival;
+              }
+              return a < b;
+            });
+  std::size_t next_coflow = 0;
 
   double now = 0.0;
   std::size_t next_unarrived = 0;  // flows[next_unarrived..) not yet arrived
   std::size_t active_end = 0;      // flows[0..active_end) are active
   std::size_t completed_total = 0;
+  // Set when a flow of an already-rejected coflow activates: its drop sweep
+  // must run at the next event even though no new rejection happened.
+  bool drop_pending = false;
+
+  std::vector<ChunkScratch> chunk_scratch;
+  std::vector<Flow> aos;  // reference mode: rebuilt per event (seed shape)
+
+  // Stable compaction: completed flows leave by shifting the survivors down,
+  // so every coflow keeps its members in a stable relative order across
+  // events. Allocators rely on this to reuse per-coflow structures (a
+  // rebuilt structure then matches the cached one exactly); it also keeps
+  // the freeze/subtraction order of the shared kernels deterministic.
+  auto move_flow = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;
+    src[to] = src[from];
+    dst[to] = dst[from];
+    cof[to] = cof[from];
+    start[to] = start[from];
+    remaining[to] = remaining[from];
+    rate[to] = rate[from];
+    link_ptr[to] = link_ptr[from];
+    link_len[to] = link_len[from];
+  };
 
   auto activate_arrivals = [&] {
-    while (next_unarrived < flows.size() &&
-           flows[next_unarrived].start <= now) {
-      states[flows[next_unarrived].coflow].started = true;
-      if (next_unarrived != active_end) {
-        std::swap(flows[next_unarrived], flows[active_end]);
-      }
+    while (next_unarrived < n && start[next_unarrived] <= now) {
+      const std::uint32_t c = cof[next_unarrived];
+      states[c].started = true;
+      ctx.touch(c);  // membership changed: keys and grouping are stale
+      if (states[c].rejected) drop_pending = true;
+      // Anything in [active_end, next_unarrived) is a dead (completed) flow
+      // left behind by compaction; overwriting it is safe.
+      move_flow(next_unarrived, active_end);
       ++active_end;
       ++next_unarrived;
     }
-    // Mark zero-flow coflows whose arrival passed as started/completed.
-    for (CoflowState& st : states) {
-      if (!st.started && st.arrival <= now) st.started = true;
-      if (st.started && !st.completed && st.flows_active == 0) {
+    // Cursor-based replacement of the zero-flow-coflow sweep. At the first
+    // event with now >= arrival no flow of the coflow can have completed yet,
+    // so flows_active == 0 here means the coflow never had network flows.
+    while (next_coflow < coflow_by_arrival.size() &&
+           states[coflow_by_arrival[next_coflow]].arrival <= now) {
+      CoflowState& st = states[coflow_by_arrival[next_coflow]];
+      if (!st.started) {
+        st.started = true;
+        ctx.touch(st.id);
+      }
+      if (!st.completed && st.flows_active == 0) {
         st.completed = true;
         st.completion = std::max(now, st.arrival);
         report.coflows[st.id].completion = st.completion;
+        ctx.touch(st.id);
+      }
+      ++next_coflow;
+    }
+  };
+
+  // Completion bookkeeping plus the stable compaction that keeps surviving
+  // flows in order (advance loops zero `remaining` on completion). `from` is
+  // a caller-known lower bound on the first completed index: everything
+  // before it stays in place, so the shift starts there.
+  auto compact_completed = [&](std::size_t from) {
+    std::size_t w = from;
+    for (std::size_t idx = from; idx < active_end; ++idx) {
+      if (remaining[idx] > 0.0) {
+        move_flow(idx, w++);
+        continue;
+      }
+      CoflowState& st = states[cof[idx]];
+      --st.flows_active;
+      ++completed_total;
+      ctx.touch(cof[idx]);
+      if (st.flows_active == 0) {
+        st.completed = true;
+        st.completion = now;
+        report.coflows[st.id].completion = now;
       }
     }
+    active_end = w;
   };
 
   activate_arrivals();
@@ -138,8 +272,8 @@ SimReport Simulator::run() {
   while (true) {
     if (active_end == 0) {
       // Nothing active: jump to the next arrival or finish.
-      if (next_unarrived >= flows.size()) break;
-      now = flows[next_unarrived].start;
+      if (next_unarrived >= n) break;
+      now = start[next_unarrived];
       activate_arrivals();
       continue;
     }
@@ -151,72 +285,152 @@ SimReport Simulator::run() {
     }
     ++report.events;
 
-    allocator_->allocate({flows.data(), active_end}, states, *network_, now);
+    if (incremental) {
+      view.count = active_end;
+      ctx.begin_epoch();
+      allocator_->allocate(ctx, view, states, now);
+    } else {
+      // Reference engine: per-event full recomputation through the legacy
+      // AoS entry point — the pre-incremental engine's shape. Every call
+      // rebuilds the allocator's link table, residuals, keys and coflow
+      // order from scratch; nothing survives between events.
+      aos.resize(active_end);
+      for (std::size_t i = 0; i < active_end; ++i) {
+        Flow& f = aos[i];
+        f.src = src[i];
+        f.dst = dst[i];
+        f.coflow = cof[i];
+        f.start = start[i];
+        f.volume = remaining[i];
+        f.remaining = remaining[i];
+        f.rate = rate[i];
+      }
+      allocator_->allocate(std::span<Flow>(aos), states, *network_, now);
+      for (std::size_t i = 0; i < active_end; ++i) rate[i] = aos[i].rate;
+    }
 
     // Drop the flows of coflows the allocator just rejected (admission
-    // control): they are marked completed-as-rejected at rejection time.
-    for (std::size_t idx = 0; idx < active_end;) {
-      CoflowState& st = states[flows[idx].coflow];
-      if (!st.rejected) {
-        ++idx;
-        continue;
+    // control): they are marked completed-as-rejected at rejection time. The
+    // incremental engine skips the sweep unless a rejection is pending.
+    if (!incremental || ctx.rejection_pending || drop_pending) {
+      drop_pending = false;
+      std::size_t w = 0;
+      for (std::size_t idx = 0; idx < active_end; ++idx) {
+        CoflowState& st = states[cof[idx]];
+        if (!st.rejected) {
+          move_flow(idx, w++);
+          continue;
+        }
+        if (!st.completed) {
+          st.completed = true;
+          st.completion = now;
+          report.coflows[st.id].completion = now;
+          report.coflows[st.id].rejected = true;
+          ctx.touch(st.id);
+        }
+        --st.flows_active;
       }
-      if (!st.completed) {
-        st.completed = true;
-        st.completion = now;
-        report.coflows[st.id].completion = now;
-        report.coflows[st.id].rejected = true;
-      }
-      --st.flows_active;
-      --active_end;
-      std::swap(flows[idx], flows[active_end]);
+      active_end = w;
     }
     if (active_end == 0) continue;  // everything active was rejected
 
-    // Next event: earliest flow completion or next coflow arrival.
+    // Next event: earliest flow completion or next coflow arrival. The
+    // incremental engine takes the allocator's hint (computed per-flow, so
+    // identical to this scan); the reference engine always scans.
     double dt = kInf;
-    for (std::size_t idx = 0; idx < active_end; ++idx) {
-      const Flow& f = flows[idx];
-      if (f.rate > 0.0) dt = std::min(dt, f.remaining / f.rate);
+    if (incremental && ctx.min_dt_valid()) {
+      dt = ctx.min_dt();
+    } else {
+      for (std::size_t idx = 0; idx < active_end; ++idx) {
+        if (rate[idx] > 0.0) dt = std::min(dt, remaining[idx] / rate[idx]);
+      }
     }
-    if (next_unarrived < flows.size()) {
-      dt = std::min(dt, flows[next_unarrived].start - now);
-    }
+    if (next_unarrived < n) dt = std::min(dt, start[next_unarrived] - now);
     if (dt == kInf) {
       throw std::runtime_error(
           "Simulator: starvation — allocator \"" + allocator_->name() +
           "\" assigned zero rate to every active flow");
     }
     dt = std::max(dt, 0.0);
+    // Forward-progress guard: a zero-length epoch is only legal when it
+    // consumes at least one pending arrival (or completes a flow); otherwise
+    // the loop would spin at this timestamp forever.
+    const bool zero_dt = dt == 0.0;
+    const std::size_t progress_before =
+        next_unarrived + next_coflow + completed_total;
 
     // Advance the clock and all active flows.
     now += dt;
-    for (std::size_t idx = 0; idx < active_end;) {
-      Flow& f = flows[idx];
-      const double moved = f.rate * dt;
-      f.remaining -= moved;
-      states[f.coflow].bytes_sent += moved;
-      report.total_bytes += moved;
-      if (f.remaining <= config_.completion_epsilon) {
-        // Any sub-epsilon residue still counts as delivered.
-        states[f.coflow].bytes_sent += std::max(f.remaining, 0.0);
-        report.total_bytes += std::max(f.remaining, 0.0);
-        f.remaining = 0.0;
-        CoflowState& st = states[f.coflow];
-        --st.flows_active;
-        ++completed_total;
-        if (st.flows_active == 0) {
-          st.completed = true;
-          st.completion = now;
-          report.coflows[st.id].completion = now;
+    if (active_end >= config_.parallel_advance_threshold &&
+        active_end > kAdvanceGrain) {
+      // Phase 1 (parallel): per-flow remaining -= rate*dt plus per-chunk
+      // byte accounting. Chunk k owns scratch slot k (deterministic chunk
+      // boundaries), so no cross-thread state is shared.
+      const std::size_t chunks =
+          util::parallel_chunk_count(active_end, kAdvanceGrain);
+      if (chunk_scratch.size() < chunks) chunk_scratch.resize(chunks);
+      util::parallel_for(
+          active_end, kAdvanceGrain, [&](std::size_t b, std::size_t e) {
+            ChunkScratch& cs = chunk_scratch[b / kAdvanceGrain];
+            if (cs.delta.size() < states.size()) {
+              cs.delta.assign(states.size(), 0.0);
+            }
+            cs.total = 0.0;
+            cs.completed = false;
+            for (std::size_t idx = b; idx < e; ++idx) {
+              const double moved = rate[idx] * dt;
+              double rem = remaining[idx] - moved;
+              double bytes = moved;
+              if (rem <= config_.completion_epsilon) {
+                // Any sub-epsilon residue still counts as delivered.
+                bytes += std::max(rem, 0.0);
+                rem = 0.0;
+                cs.completed = true;
+              }
+              remaining[idx] = rem;
+              if (bytes != 0.0) {
+                const std::uint32_t c = cof[idx];
+                if (cs.delta[c] == 0.0) cs.touched.push_back(c);
+                cs.delta[c] += bytes;
+                cs.total += bytes;
+              }
+            }
+          });
+      // Phase 2 (sequential, chunk order): merge byte totals, then run the
+      // same completion/compaction sweep as the sequential path. Summing
+      // per-chunk partials reorders the floating-point adds, so bytes_sent /
+      // total_bytes can differ from the sequential path by rounding ulps.
+      std::size_t first_done = active_end;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        ChunkScratch& cs = chunk_scratch[k];
+        report.total_bytes += cs.total;
+        if (cs.completed && first_done == active_end) {
+          first_done = k * kAdvanceGrain;
         }
-        --active_end;
-        std::swap(flows[idx], flows[active_end]);
-        // Keep arrival bookkeeping consistent: the swapped-out slot now holds
-        // a finished flow that sits between active and unarrived regions.
-      } else {
-        ++idx;
+        for (const std::uint32_t c : cs.touched) {
+          states[c].bytes_sent += cs.delta[c];
+          cs.delta[c] = 0.0;  // restore the all-zero invariant
+        }
+        cs.touched.clear();
       }
+      if (first_done < active_end) compact_completed(first_done);
+    } else {
+      std::size_t first_done = active_end;
+      for (std::size_t idx = 0; idx < active_end; ++idx) {
+        const double moved = rate[idx] * dt;
+        double rem = remaining[idx] - moved;
+        double bytes = moved;
+        if (rem <= config_.completion_epsilon) {
+          // Any sub-epsilon residue still counts as delivered.
+          bytes += std::max(rem, 0.0);
+          rem = 0.0;
+          if (first_done == active_end) first_done = idx;
+        }
+        remaining[idx] = rem;
+        states[cof[idx]].bytes_sent += bytes;
+        report.total_bytes += bytes;
+      }
+      if (first_done < active_end) compact_completed(first_done);
     }
 
     if (config_.record_trace) {
@@ -224,7 +438,15 @@ SimReport Simulator::run() {
     }
 
     activate_arrivals();
-    if (active_end == 0 && next_unarrived >= flows.size()) break;
+    if (zero_dt &&
+        next_unarrived + next_coflow + completed_total == progress_before) {
+      throw std::runtime_error(
+          "Simulator: no forward progress — allocator \"" +
+          allocator_->name() + "\" produced a zero-length epoch at t=" +
+          std::to_string(now) + " (event " + std::to_string(report.events) +
+          ", " + std::to_string(active_end) + " active flows)");
+    }
+    if (active_end == 0 && next_unarrived >= n) break;
   }
 
   // Zero-flow coflows arriving after the last transfer finished never pass

@@ -4,6 +4,20 @@
 // recomputed at every event (flow completion or coflow arrival). The engine
 // reports per-coflow completion times (CCTs) and aggregate statistics.
 //
+// Two engine modes share one event loop (DESIGN.md §3):
+//  * kIncremental (default) — hot per-flow fields live in SoA columns, the
+//    AllocatorContext persists across events (cached link sets, schedulable
+//    set, sort keys), next-event times come from allocator hints, and the
+//    arrival / zero-flow-coflow sweeps are cursor-based. Per-event cost is
+//    O(active flows) for the advance plus O(schedulable coflows) for
+//    everything else — no O(#links x #flows) scans, no per-event allocation.
+//  * kReference — the allocator context is wiped before every allocate()
+//    (forcing full recomputation), the next-event time is an O(#flows) scan,
+//    and the rejected-flow sweep runs unconditionally. This reproduces the
+//    original engine step-for-step and anchors the equivalence tests.
+// Both modes produce bit-identical event sequences; see
+// tests/net/engine_equivalence_test.cpp.
+//
 // For a single coflow under the Madd allocator the simulated CCT equals the
 // analytic bound Γ exactly (property-tested), which is the configuration the
 // paper's experiments use.
@@ -13,6 +27,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/allocator.hpp"
@@ -22,6 +37,9 @@
 #include "net/network.hpp"
 
 namespace ccf::net {
+
+/// Event-engine selection (see the header comment).
+enum class SimEngine { kIncremental, kReference };
 
 /// Engine limits and numerical knobs.
 struct SimConfig {
@@ -33,6 +51,13 @@ struct SimConfig {
   std::size_t max_events = 100'000'000;
   /// Record a TraceEvent per epoch (costs memory on big runs).
   bool record_trace = false;
+  /// Which event engine to run (kReference exists for equivalence testing).
+  SimEngine engine = SimEngine::kIncremental;
+  /// Advance the flows of an epoch via util::parallel_for when at least this
+  /// many are active; below it (or at 1 hardware thread) the advance is the
+  /// plain sequential loop. Chunk merges happen in deterministic chunk order,
+  /// so results do not depend on thread interleaving.
+  std::size_t parallel_advance_threshold = 4096;
 };
 
 /// One scheduling epoch in the trace.
@@ -66,9 +91,14 @@ struct SimReport {
   double makespan = 0.0;     ///< completion time of the last coflow
   double total_bytes = 0.0;  ///< bytes actually moved over the fabric
   std::size_t events = 0;    ///< scheduling epochs executed
+  /// coflow name -> index into `coflows`, filled by Simulator::run() (first
+  /// occurrence wins on duplicate names). Manually assembled reports may
+  /// leave it empty; cct_of falls back to a linear scan then.
+  std::unordered_map<std::string, std::size_t> name_index;
 
   double average_cct() const noexcept;
-  /// CCT of the coflow with the given name; throws if absent.
+  /// CCT of the coflow with the given name; throws if absent. O(1) via
+  /// name_index on reports produced by run().
   double cct_of(const std::string& name) const;
 };
 

@@ -2,8 +2,13 @@
 // inter-coflow order = Smallest Effective Bottleneck First, i.e. ascending
 // Γ computed on full link capacities from remaining volumes; within a coflow
 // MADD; unused bandwidth backfills the next coflows in order.
+//
+// Γ of a coflow changes only when its remaining volumes change, so the cached
+// key (ctx.key) is recomputed just for coflows that are dirty (arrival /
+// completion) or that actually sent bytes last epoch (ctx.coflow_dt tells:
+// madd_sequential leaves it at kInfDt for starved coflows, whose Γ is
+// therefore still current). A starved coflow keeps its cached Γ bit-for-bit.
 #include <algorithm>
-#include <vector>
 
 #include "net/allocator.hpp"
 
@@ -15,26 +20,36 @@ class VarysAllocator final : public RateAllocator {
  public:
   std::string name() const override { return "varys"; }
 
-  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
-                const Network& network, double) override {
-    const std::vector<double> bottleneck =
-        detail::coflow_bottlenecks(active, coflows.size(), network);
-
-    std::vector<std::uint32_t> order;
-    order.reserve(coflows.size());
-    for (const CoflowState& c : coflows) {
-      if (c.started && !c.completed) order.push_back(c.id);
+  void allocate(AllocatorContext& ctx, const ActiveFlows& flows,
+                std::span<CoflowState> coflows, double) override {
+    ctx.group_by_coflow(flows);
+    // Invalidate Γ of coflows that progressed in the previous epoch
+    // (ctx.order still holds that epoch's schedule) and of dirty coflows.
+    for (const std::uint32_t c : ctx.order) {
+      if (ctx.coflow_dt[c] != AllocatorContext::kInfDt) ctx.key_valid[c] = 0;
     }
-    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-      if (bottleneck[a] != bottleneck[b]) return bottleneck[a] < bottleneck[b];
-      if (coflows[a].arrival != coflows[b].arrival) {
-        return coflows[a].arrival < coflows[b].arrival;
-      }
-      return a < b;
-    });
+    for (const std::uint32_t c : ctx.dirty()) ctx.key_valid[c] = 0;
+    const auto sched = ctx.schedulable(coflows);
+    ctx.clear_dirty();
 
-    std::vector<double> residual = detail::link_residuals(network);
-    detail::madd_sequential(active, order, network, residual);
+    for (const std::uint32_t c : sched) {
+      if (!ctx.key_valid[c]) {
+        ctx.key[c] = detail::coflow_gamma(flows, ctx.members(c), ctx);
+        ctx.key_valid[c] = 1;
+      }
+    }
+    ctx.order.assign(sched.begin(), sched.end());
+    std::sort(ctx.order.begin(), ctx.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ctx.key[a] != ctx.key[b]) return ctx.key[a] < ctx.key[b];
+                if (coflows[a].arrival != coflows[b].arrival) {
+                  return coflows[a].arrival < coflows[b].arrival;
+                }
+                return a < b;
+              });
+
+    const std::span<double> residual = ctx.reset_residual();
+    ctx.set_min_dt(detail::madd_sequential(flows, ctx.order, ctx, residual));
   }
 };
 

@@ -10,7 +10,6 @@
 //  * Work conservation — deadline-free coflows share the leftover capacity
 //    in SEBF order (plain Varys behavior).
 #include <algorithm>
-#include <limits>
 #include <vector>
 
 #include "net/allocator.hpp"
@@ -23,26 +22,31 @@ class VarysDeadlineAllocator final : public RateAllocator {
  public:
   std::string name() const override { return "varys-edf"; }
 
-  void allocate(std::span<Flow> active, std::span<CoflowState> coflows,
-                const Network& network, double now) override {
-    std::vector<double> residual = detail::link_residuals(network);
-
-    // Bucket active flows per coflow.
-    std::vector<std::vector<std::size_t>> by_coflow(coflows.size());
-    for (std::size_t idx = 0; idx < active.size(); ++idx) {
-      active[idx].rate = 0.0;
-      by_coflow[active[idx].coflow].push_back(idx);
+  void allocate(AllocatorContext& ctx, const ActiveFlows& flows,
+                std::span<CoflowState> coflows, double now) override {
+    ctx.group_by_coflow(flows);
+    // SEBF keys for the deadline-free leftovers pass; same invalidation rule
+    // as plain Varys (ctx.order holds the previous epoch's leftovers order).
+    for (const std::uint32_t c : ctx.order) {
+      if (ctx.coflow_dt[c] != AllocatorContext::kInfDt) ctx.key_valid[c] = 0;
     }
+    for (const std::uint32_t c : ctx.dirty()) ctx.key_valid[c] = 0;
+    const auto sched = ctx.schedulable(coflows);
+    ctx.clear_dirty();
+
+    const std::span<double> residual = ctx.reset_residual();
+    for (std::size_t i = 0; i < flows.count; ++i) flows.rate[i] = 0.0;
+    double min_dt = AllocatorContext::kInfDt;
 
     // Two passes, both earliest-absolute-deadline-first: already-admitted
     // coflows lock in their guarantees before any newcomer is considered —
     // admission never cannibalizes an existing guarantee.
-    auto edf = [&](bool admitted) {
-      std::vector<std::uint32_t> order;
-      for (CoflowState& c : coflows) {
-        if (c.started && !c.completed && !c.rejected && c.deadline > 0.0 &&
-            c.admitted == admitted) {
-          order.push_back(c.id);
+    auto edf = [&](bool admitted, std::vector<std::uint32_t>& order) {
+      order.clear();
+      for (const std::uint32_t c : sched) {
+        if (!coflows[c].rejected && coflows[c].deadline > 0.0 &&
+            coflows[c].admitted == admitted) {
+          order.push_back(c);
         }
       }
       std::sort(order.begin(), order.end(),
@@ -52,32 +56,35 @@ class VarysDeadlineAllocator final : public RateAllocator {
                   }
                   return a < b;
                 });
-      return order;
     };
-    std::vector<std::uint32_t> deadline_order = edf(/*admitted=*/true);
-    const std::vector<std::uint32_t> newcomers = edf(/*admitted=*/false);
-    deadline_order.insert(deadline_order.end(), newcomers.begin(),
-                          newcomers.end());
+    edf(/*admitted=*/true, deadline_order_);
+    edf(/*admitted=*/false, newcomers_);
+    deadline_order_.insert(deadline_order_.end(), newcomers_.begin(),
+                           newcomers_.end());
 
-    std::vector<Network::LinkId> scratch;
-    for (const std::uint32_t cid : deadline_order) {
+    if (demand_.size() < residual.size()) demand_.assign(residual.size(), 0.0);
+    for (const std::uint32_t cid : deadline_order_) {
       CoflowState& st = coflows[cid];
+      const auto members = ctx.members(cid);
       const double slack = st.deadline - now;
       // Minimum per-flow rates to finish exactly at the deadline.
       bool feasible = slack > 0.0;
-      std::vector<double> need(by_coflow[cid].size(), 0.0);
+      need_.assign(members.size(), 0.0);
       if (feasible) {
-        // Check every link's aggregate demand against its residual.
-        std::vector<double> demand(residual.size(), 0.0);
-        for (std::size_t m = 0; m < by_coflow[cid].size(); ++m) {
-          const Flow& f = active[by_coflow[cid][m]];
-          need[m] = f.remaining / slack;
-          scratch.clear();
-          network.append_links(f.src, f.dst, scratch);
-          for (const auto l : scratch) demand[l] += need[m];
+        // Check every used link's aggregate demand against its residual
+        // (links with zero demand are trivially feasible: residual >= 0).
+        touched_.clear();
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          const std::uint32_t p = members[m];
+          need_[m] = flows.remaining[p] / slack;
+          for (const auto l : flows.links(p)) {
+            if (demand_[l] == 0.0) touched_.push_back(l);
+            demand_[l] += need_[m];
+          }
         }
-        for (std::size_t l = 0; l < residual.size() && feasible; ++l) {
-          if (demand[l] > residual[l] + 1e-9) feasible = false;
+        for (const auto l : touched_) {
+          if (demand_[l] > residual[l] + 1e-9) feasible = false;
+          demand_[l] = 0.0;  // restore the all-zero invariant
         }
       }
       if (!st.admitted) {
@@ -86,6 +93,7 @@ class VarysDeadlineAllocator final : public RateAllocator {
           st.admitted = true;
         } else {
           st.rejected = true;
+          ctx.rejection_pending = true;
           continue;
         }
       }
@@ -93,35 +101,49 @@ class VarysDeadlineAllocator final : public RateAllocator {
         // An admitted coflow whose guarantee broke (should not happen with
         // non-preemptive admission, but guard anyway): serve best-effort at
         // MADD rates against the residual instead of starving it.
-        std::vector<std::uint32_t> one = {cid};
-        detail::madd_sequential(active, one, network, residual);
+        const std::uint32_t one[1] = {cid};
+        min_dt = std::min(
+            min_dt, detail::madd_sequential(flows, one, ctx, residual));
         continue;
       }
-      for (std::size_t m = 0; m < by_coflow[cid].size(); ++m) {
-        Flow& f = active[by_coflow[cid][m]];
-        f.rate = need[m];
-        scratch.clear();
-        network.append_links(f.src, f.dst, scratch);
-        for (const auto l : scratch) residual[l] -= need[m];
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::uint32_t p = members[m];
+        flows.rate[p] = need_[m];
+        min_dt = std::min(min_dt, flows.remaining[p] / need_[m]);
+        for (const auto l : flows.links(p)) {
+          residual[l] -= need_[m];
+          residual[l] = std::max(residual[l], 0.0);
+        }
       }
-      for (double& r : residual) r = std::max(r, 0.0);
     }
 
     // Deadline-free coflows: SEBF over the leftovers.
-    const std::vector<double> bottleneck =
-        detail::coflow_bottlenecks(active, coflows.size(), network);
-    std::vector<std::uint32_t> rest;
-    for (const CoflowState& c : coflows) {
-      if (c.started && !c.completed && !c.rejected && c.deadline == 0.0) {
-        rest.push_back(c.id);
+    ctx.order.clear();
+    for (const std::uint32_t c : sched) {
+      if (!coflows[c].rejected && coflows[c].deadline == 0.0) {
+        ctx.order.push_back(c);
       }
     }
-    std::sort(rest.begin(), rest.end(), [&](std::uint32_t a, std::uint32_t b) {
-      if (bottleneck[a] != bottleneck[b]) return bottleneck[a] < bottleneck[b];
-      return a < b;
-    });
-    detail::madd_sequential(active, rest, network, residual);
+    for (const std::uint32_t c : ctx.order) {
+      if (!ctx.key_valid[c]) {
+        ctx.key[c] = detail::coflow_gamma(flows, ctx.members(c), ctx);
+        ctx.key_valid[c] = 1;
+      }
+    }
+    std::sort(ctx.order.begin(), ctx.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (ctx.key[a] != ctx.key[b]) return ctx.key[a] < ctx.key[b];
+                return a < b;
+              });
+    min_dt = std::min(min_dt,
+                      detail::madd_sequential(flows, ctx.order, ctx, residual));
+    ctx.set_min_dt(min_dt);
   }
+
+ private:
+  // Reused per-allocate buffers (one allocator serves one simulation).
+  std::vector<std::uint32_t> deadline_order_, newcomers_, touched_;
+  std::vector<double> need_, demand_;
 };
 
 }  // namespace

@@ -104,14 +104,22 @@ std::vector<std::string> split(const std::string& s, char sep) {
 }  // namespace
 
 std::vector<std::int64_t> ArgParser::get_int_sweep(const std::string& name) const {
+  const auto parse = [&](const std::string& s) {
+    try {
+      return std::stoll(s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("ArgParser: non-integer sweep value \"" + s +
+                                  "\" for --" + name);
+    }
+  };
   const auto parts = split(get(name), ':');
-  if (parts.size() == 1) return {std::stoll(parts[0])};
+  if (parts.size() == 1) return {parse(parts[0])};
   if (parts.size() != 3) {
     throw std::invalid_argument("ArgParser: sweep must be lo:hi:step: --" + name);
   }
-  const std::int64_t lo = std::stoll(parts[0]);
-  const std::int64_t hi = std::stoll(parts[1]);
-  const std::int64_t step = std::stoll(parts[2]);
+  const std::int64_t lo = parse(parts[0]);
+  const std::int64_t hi = parse(parts[1]);
+  const std::int64_t step = parse(parts[2]);
   if (step <= 0 || hi < lo) {
     throw std::invalid_argument("ArgParser: bad sweep bounds for --" + name);
   }

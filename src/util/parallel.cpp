@@ -3,24 +3,26 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace ccf::util {
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads) {
-  if (count == 0) return;
+namespace {
+
+std::size_t resolve_threads(std::size_t threads, std::size_t work_units) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  threads = std::min(threads, count);
-  if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
+  return std::min(threads, work_units);
+}
 
+/// Drain `units` work items through `run(unit)` on `threads` workers,
+/// rethrowing the first exception after the pool joins.
+template <typename Run>
+void drain(std::size_t units, std::size_t threads, const Run& run) {
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -28,9 +30,9 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      if (i >= units) return;
       try {
-        fn(i);
+        run(i);
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -46,6 +48,39 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   }
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (count == 0) return;
+  threads = resolve_threads(threads, count);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  drain(count, threads, fn);
+}
+
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t threads) {
+  if (grain == 0) {
+    throw std::invalid_argument("parallel_for: grain must be positive");
+  }
+  if (count == 0) return;
+  const std::size_t chunks = parallel_chunk_count(count, grain);
+  threads = resolve_threads(threads, chunks);
+  auto run_chunk = [&](std::size_t k) {
+    const std::size_t begin = k * grain;
+    fn(begin, std::min(begin + grain, count));
+  };
+  if (threads == 1) {
+    for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);
+    return;
+  }
+  drain(chunks, threads, run_chunk);
 }
 
 }  // namespace ccf::util

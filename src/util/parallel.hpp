@@ -1,8 +1,8 @@
 // Minimal task parallelism for embarrassingly parallel work (CP.4: think in
 // terms of tasks). Used by the benchmark harness to evaluate independent
-// sweep points concurrently — each point generates its own workload and owns
-// all of its state, so no synchronization beyond the index counter is
-// needed.
+// sweep points concurrently and by the simulator's flow-advance loop — each
+// unit of work owns all of its state, so no synchronization beyond the index
+// counter is needed.
 #pragma once
 
 #include <cstddef>
@@ -16,5 +16,23 @@ namespace ccf::util {
 /// the pool drains. fn must be safe to invoke concurrently for distinct i.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
+
+/// Chunked variant: fn(begin, end) is invoked once per chunk of up to `grain`
+/// consecutive indices, avoiding per-index std::function dispatch on hot
+/// loops. Chunk k always covers [k*grain, min((k+1)*grain, count)), so a
+/// caller may map `begin / grain` to a stable per-chunk scratch slot. With
+/// one effective thread the chunks run sequentially in ascending order.
+/// `grain` == 0 is invalid (throws std::invalid_argument). Exception
+/// propagation matches the per-index overload: the first exception thrown by
+/// any chunk is rethrown after all workers drain.
+void parallel_for(std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+/// Number of chunks the chunked overload will execute: ceil(count / grain).
+constexpr std::size_t parallel_chunk_count(std::size_t count,
+                                           std::size_t grain) noexcept {
+  return grain == 0 ? 0 : (count + grain - 1) / grain;
+}
 
 }  // namespace ccf::util

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace ccf::util {
@@ -58,6 +61,66 @@ TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
   std::atomic<int> sum{0};
   parallel_for(3, [&](std::size_t i) { sum += static_cast<int>(i); }, 64);
   EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelForChunked, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t grain : std::vector<std::size_t>{1, 3, 7, 100, 1000}) {
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, grain, [&](std::size_t b, std::size_t e) {
+      ASSERT_LT(b, e);
+      ASSERT_LE(e, kCount);
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForChunked, ChunkBoundariesAreGrainAligned) {
+  // Chunk k must cover [k*grain, ...): callers rely on begin/grain as a
+  // stable scratch-slot index. Also checks the ragged final chunk.
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(10, 4, [&](std::size_t b, std::size_t e) {
+    const std::scoped_lock lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>{4, 8}));
+  EXPECT_EQ(chunks[2], (std::pair<std::size_t, std::size_t>{8, 10}));
+  EXPECT_EQ(parallel_chunk_count(10, 4), 3u);
+  EXPECT_EQ(parallel_chunk_count(8, 4), 2u);
+  EXPECT_EQ(parallel_chunk_count(0, 4), 0u);
+}
+
+TEST(ParallelForChunked, SingleThreadRunsChunksInOrder) {
+  std::vector<std::size_t> begins;
+  parallel_for(
+      9, 2, [&](std::size_t b, std::size_t) { begins.push_back(b); }, 1);
+  EXPECT_EQ(begins, (std::vector<std::size_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(ParallelForChunked, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(100, 8,
+                            [](std::size_t b, std::size_t) {
+                              if (b == 32) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForChunked, RejectsZeroGrain) {
+  EXPECT_THROW(parallel_for(10, 0, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelForChunked, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, 8, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
 }
 
 }  // namespace
