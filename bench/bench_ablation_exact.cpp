@@ -1,7 +1,11 @@
 // Ablation (§III-A/B): heuristic quality versus the exact MILP optimum.
 // On small random instances the branch-and-bound solver proves optimality;
-// the table reports the optimality gap of Algorithm 1 (ccf) and of
-// Algorithm 1 + local search (ccf-ls), alongside Hash and Mini.
+// the table reports the optimality gap of Algorithm 1 (ccf), Algorithm 1 +
+// local search (ccf-ls) and the GRASP portfolio (ccf-portfolio), alongside
+// Hash and Mini. Instances the solver cannot prove within the time limit are
+// skipped from the gap statistics — the bench counts and reports them, and
+// warns when fewer than half the instances were proven (the averages would
+// then be biased toward the easy cases).
 #include <iostream>
 
 #include "core/ccf.hpp"
@@ -14,8 +18,8 @@
 int main(int argc, char** argv) {
   ccf::util::ArgParser args("bench_ablation_exact",
                             "Heuristic-vs-exact optimality gap");
-  args.add_flag("nodes", "4", "nodes per instance");
-  args.add_flag("partitions", "12", "partitions per instance");
+  args.add_flag("nodes", "5", "nodes per instance");
+  args.add_flag("partitions", "15", "partitions per instance");
   args.add_flag("instances", "30", "number of random instances");
   args.add_flag("seed", "7", "master seed");
   args.parse(argc, argv);
@@ -27,8 +31,9 @@ int main(int argc, char** argv) {
   std::cout << "Exact-vs-heuristic ablation: " << count << " random instances, "
             << n << " nodes x " << p << " partitions\n\n";
 
-  ccf::util::Accumulator gap_ccf, gap_ls, gap_hash, gap_mini;
-  std::size_t optimal_hits_ccf = 0, optimal_hits_ls = 0, proven = 0;
+  ccf::util::Accumulator gap_ccf, gap_ls, gap_pf, gap_hash, gap_mini;
+  std::size_t optimal_hits_ccf = 0, optimal_hits_ls = 0, optimal_hits_pf = 0;
+  std::size_t proven = 0, skipped = 0;
   for (std::size_t inst = 0; inst < count; ++inst) {
     ccf::data::WorkloadSpec spec;
     spec.nodes = n;
@@ -45,8 +50,13 @@ int main(int argc, char** argv) {
 
     ccf::opt::BnbOptions opts;
     opts.time_limit_s = 5.0;
+    // Let the wall clock be the binding limit, not the default node budget.
+    opts.max_nodes = 30'000'000;
     const auto exact = ccf::opt::solve_exact(problem, opts);
-    if (!exact.optimal) continue;  // skip unproven instances
+    if (!exact.optimal) {
+      ++skipped;  // unproven: excluded from the gap statistics below
+      continue;
+    }
     ++proven;
 
     auto gap_of = [&](const char* name) {
@@ -55,12 +65,15 @@ int main(int argc, char** argv) {
     };
     const double g_ccf = gap_of("ccf");
     const double g_ls = gap_of("ccf-ls");
+    const double g_pf = gap_of("ccf-portfolio");
     gap_ccf.add(g_ccf);
     gap_ls.add(g_ls);
+    gap_pf.add(g_pf);
     gap_hash.add(gap_of("hash"));
     gap_mini.add(gap_of("mini"));
     if (g_ccf < 1.0 + 1e-9) ++optimal_hits_ccf;
     if (g_ls < 1.0 + 1e-9) ++optimal_hits_ls;
+    if (g_pf < 1.0 + 1e-9) ++optimal_hits_pf;
   }
 
   ccf::util::Table t({"scheduler", "mean T/T*", "worst T/T*", "optimal found"});
@@ -73,13 +86,22 @@ int main(int argc, char** argv) {
       std::to_string(optimal_hits_ccf) + "/" + std::to_string(proven));
   row("ccf-ls", gap_ls,
       std::to_string(optimal_hits_ls) + "/" + std::to_string(proven));
+  row("ccf-portfolio", gap_pf,
+      std::to_string(optimal_hits_pf) + "/" + std::to_string(proven));
   row("hash", gap_hash, "-");
   row("mini", gap_mini, "-");
   t.print(std::cout);
 
   std::cout << "\n" << proven << "/" << count
-            << " instances solved to proven optimality within the time "
-               "limit.\nAlgorithm 1 trades a small gap for polynomial time — "
+            << " instances solved to proven optimality within the time limit ("
+            << skipped << " skipped).\n";
+  if (proven * 2 < count) {
+    std::cout << "WARNING: fewer than half the instances were proven — the "
+                 "gap statistics above cover only the easy cases and are "
+                 "biased optimistic.\nShrink --nodes/--partitions or raise "
+                 "the time limit for a trustworthy table.\n";
+  }
+  std::cout << "Algorithm 1 trades a small gap for polynomial time — "
                "the trade the paper argues for in §III-B.\n";
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "opt/bounds.hpp"
 #include "opt/local_search.hpp"
 #include "util/rng.hpp"
 
@@ -52,45 +53,23 @@ Assignment CcfScheduler::schedule(const AssignmentProblem& problem) {
   Assignment dest(p, 0);
   for (const std::uint32_t k : order) {
     const double sk = m.partition_total(k);
+    const std::span<const double> row = m.partition_row(k);
 
     // Lines 4-8, done in O(n) total instead of O(n^2): for candidate d only
     // two quantities differ from the global maxima — node d's egress stays
     // put and node d's ingress gains (S_k - h_{dk}) — so the top-2 of
     // (egress[i] + h_{ik}) and of ingress[] decide every candidate in O(1).
-    double eg_max = -1.0, eg_second = -1.0;
-    std::size_t eg_arg = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = egress[i] + m.h(k, i);
-      if (v > eg_max) {
-        eg_second = eg_max;
-        eg_max = v;
-        eg_arg = i;
-      } else if (v > eg_second) {
-        eg_second = v;
-      }
-    }
-    double in_max = -1.0, in_second = -1.0;
-    std::size_t in_arg = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (ingress[i] > in_max) {
-        in_second = in_max;
-        in_max = ingress[i];
-        in_arg = i;
-      } else if (ingress[i] > in_second) {
-        in_second = ingress[i];
-      }
-    }
+    // The kernel is shared with local search, GRASP and the B&B child
+    // scoring (opt/bounds.hpp).
+    const opt::Top2 eg = opt::top2_sum(egress, row);
+    const opt::Top2 in = opt::top2(ingress);
 
     double best_t = 0.0;
     std::uint32_t best_d = 0;
     bool first = true;
     for (std::uint32_t d = 0; d < n; ++d) {
-      const double egress_part =
-          std::max(d == eg_arg ? eg_second : eg_max, egress[d]);
-      const double ingress_part =
-          std::max(d == in_arg ? in_second : in_max,
-                   ingress[d] + (sk - m.h(k, d)));
-      const double t = std::max(egress_part, ingress_part);
+      const double t = opt::placement_bottleneck(eg, in, egress[d], ingress[d],
+                                                 sk, row[d], d);
       if (first || t < best_t) {
         best_t = t;
         best_d = d;
@@ -101,9 +80,9 @@ Assignment CcfScheduler::schedule(const AssignmentProblem& problem) {
     // Line 9: commit the best destination and update the loads.
     dest[k] = best_d;
     for (std::size_t i = 0; i < n; ++i) {
-      if (i != best_d) egress[i] += m.h(k, i);
+      if (i != best_d) egress[i] += row[i];
     }
-    ingress[best_d] += sk - m.h(k, best_d);
+    ingress[best_d] += sk - row[best_d];
   }
   return dest;
 }
@@ -112,6 +91,13 @@ Assignment CcfLsScheduler::schedule(const AssignmentProblem& problem) {
   Assignment dest = CcfScheduler().schedule(problem);
   opt::refine(problem, dest);
   return dest;
+}
+
+Assignment PortfolioScheduler::schedule(const AssignmentProblem& problem) {
+  opt::GraspResult r = opt::grasp(problem, options_);
+  last_T_ = r.T;
+  last_best_start_ = r.best_start;
+  return std::move(r.dest);
 }
 
 Assignment ExactScheduler::schedule(const AssignmentProblem& problem) {
@@ -135,6 +121,7 @@ std::unique_ptr<PartitionScheduler> make_scheduler(const std::string& name) {
   if (name == "mini") return std::make_unique<MiniScheduler>();
   if (name == "ccf") return std::make_unique<CcfScheduler>();
   if (name == "ccf-ls") return std::make_unique<CcfLsScheduler>();
+  if (name == "ccf-portfolio") return std::make_unique<PortfolioScheduler>();
   if (name == "exact") return std::make_unique<ExactScheduler>();
   if (name == "random") return std::make_unique<RandomScheduler>();
   throw std::invalid_argument("make_scheduler: unknown scheduler: " + name);

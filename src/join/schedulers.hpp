@@ -12,7 +12,11 @@
 //    incremental loads and top-2 maxima (the paper's motivation: Gurobi took
 //    >30 min at n=500, p=7500; this runs in milliseconds).
 //  * CcfLs — Ccf followed by local-search refinement (extension).
-//  * Exact — branch-and-bound to proven optimality (tiny instances only).
+//  * Portfolio — GRASP multi-start: parallel randomized-greedy constructions
+//    + local search across diversified seeds, never worse than CcfLs (its
+//    deterministic start 0 *is* CcfLs).
+//  * Exact — branch-and-bound to proven optimality (small instances; the
+//    parallel portfolio mode fans subtrees out over worker threads).
 //  * Random — uniform random destinations (property-test baseline).
 #pragma once
 
@@ -21,6 +25,7 @@
 #include <string>
 
 #include "opt/bnb.hpp"
+#include "opt/local_search.hpp"
 #include "opt/model.hpp"
 
 namespace ccf::join {
@@ -61,6 +66,23 @@ class CcfLsScheduler final : public PartitionScheduler {
   Assignment schedule(const AssignmentProblem& problem) override;
 };
 
+class PortfolioScheduler final : public PartitionScheduler {
+ public:
+  explicit PortfolioScheduler(opt::GraspOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "ccf-portfolio"; }
+  Assignment schedule(const AssignmentProblem& problem) override;
+  /// Makespan of the last schedule() result.
+  double last_makespan() const noexcept { return last_T_; }
+  /// Which start won the last portfolio (0 = the deterministic ccf-ls run).
+  std::size_t last_best_start() const noexcept { return last_best_start_; }
+
+ private:
+  opt::GraspOptions options_;
+  double last_T_ = 0.0;
+  std::size_t last_best_start_ = 0;
+};
+
 class ExactScheduler final : public PartitionScheduler {
  public:
   explicit ExactScheduler(opt::BnbOptions options = {}) : options_(options) {}
@@ -84,7 +106,8 @@ class RandomScheduler final : public PartitionScheduler {
   std::uint64_t seed_;
 };
 
-/// Factory by name: "hash", "mini", "ccf", "ccf-ls", "exact", "random".
+/// Factory by name: "hash", "mini", "ccf", "ccf-ls", "ccf-portfolio",
+/// "exact", "random".
 std::unique_ptr<PartitionScheduler> make_scheduler(const std::string& name);
 
 }  // namespace ccf::join

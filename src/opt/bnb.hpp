@@ -1,4 +1,4 @@
-// Exact solver for model (3) by depth-first branch-and-bound.
+// Exact solver for model (3) by branch-and-bound.
 //
 // The problem is an integer multi-commodity-flow instance and NP-complete
 // (paper §III-B, citing Even/Itai/Shamir), so this solver targets the small
@@ -6,17 +6,39 @@
 // reproduce the paper's point that the exact approach cannot scale (the
 // paper reports Gurobi needing >30 min at 500 nodes / 7500 partitions).
 //
-// Search: partitions in descending size order; children (destinations)
-// explored best-first by incremental makespan; pruned with
-// partial_lower_bound(); incumbent seeded with the greedy heuristic.
+// Two modes (mirroring the simulator's reference/incremental engine split):
+//
+//  * kReference — the seed's sequential search: partitions in descending
+//    size order, children scored by an O(n²) rescan, pruned with the
+//    averaging lower bound, incumbent seeded by the reference greedy. Kept
+//    as the equivalence anchor and the baseline of `bench_opt_scale`.
+//  * kParallel — the portfolio optimizer: a GRASP multi-start (randomized
+//    greedy + local search across diversified seeds) warm-starts the
+//    incumbent, the top levels of the DFS tree are enumerated into
+//    independent subtree tasks fanned out over util::parallel_for, workers
+//    share the incumbent through an atomic with lock-free reads on the
+//    pruning hot path, children are scored in O(n) by the shared top-2
+//    kernel, and pruning uses the water-filling packing bound
+//    (opt/bounds.hpp). Both modes prove the same optimal T.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "opt/model.hpp"
 
 namespace ccf::opt {
+
+/// How many search nodes a worker may expand between wall-clock deadline
+/// checks. Workers additionally check the deadline on subtree-task entry, so
+/// `time_limit_s` is honored tightly even when tasks outnumber threads.
+inline constexpr std::size_t kDeadlineCheckNodes = 4096;
+
+enum class BnbMode {
+  kReference,  ///< seed algorithm: sequential, averaging bound, O(n²) scoring
+  kParallel,   ///< portfolio: GRASP warm start, packing bound, subtree fan-out
+};
 
 struct BnbOptions {
   /// Abort after exploring this many search nodes (result flagged !optimal).
@@ -25,6 +47,14 @@ struct BnbOptions {
   double time_limit_s = 30.0;
   /// Optional warm-start incumbent; must be a valid full assignment.
   std::optional<Assignment> initial;
+  BnbMode mode = BnbMode::kParallel;
+  /// Worker threads for kParallel (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// GRASP portfolio starts warm-starting kParallel when `initial` is unset
+  /// (0 = plain greedy incumbent). Ignored by kReference.
+  std::size_t grasp_starts = 8;
+  /// Seed for the GRASP portfolio's randomized constructions.
+  std::uint64_t seed = 1;
 };
 
 struct BnbResult {
@@ -32,6 +62,7 @@ struct BnbResult {
   double T = 0.0;        ///< its makespan (bytes)
   bool optimal = false;  ///< proven optimal (search exhausted)
   std::size_t nodes_explored = 0;
+  std::size_t subtree_tasks = 0;  ///< parallel mode: tasks fanned out
 };
 
 /// Solve to proven optimality or until a limit trips.

@@ -5,35 +5,10 @@
 #include <vector>
 
 #include "opt/bounds.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace ccf::opt {
-
-namespace {
-
-// Indices of the two largest entries of v (first >= second).
-struct Top2 {
-  std::size_t arg_max = 0;
-  double max = 0.0;
-  double second = 0.0;
-};
-
-Top2 top2(const std::vector<double>& v) {
-  Top2 t;
-  t.max = -1.0;
-  t.second = -1.0;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (v[i] > t.max) {
-      t.second = t.max;
-      t.max = v[i];
-      t.arg_max = i;
-    } else if (v[i] > t.second) {
-      t.second = v[i];
-    }
-  }
-  return t;
-}
-
-}  // namespace
 
 LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
                          LocalSearchOptions options) {
@@ -61,44 +36,24 @@ LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
         return result;
       }
       const std::uint32_t old_d = dest[k];
+      const std::span<const double> row = m.partition_row(k);
       // Temporarily remove partition k from the loads.
       for (std::size_t i = 0; i < n; ++i) {
-        if (i != old_d) loads.egress[i] -= m.h(k, i);
+        if (i != old_d) loads.egress[i] -= row[i];
       }
-      loads.ingress[old_d] -= part_total[k] - m.h(k, old_d);
+      loads.ingress[old_d] -= part_total[k] - row[old_d];
 
-      // Candidate scoring with the same top-2 trick as the O(p·n) greedy.
-      Top2 eg;
-      {
-        // egress with partition k re-added everywhere (value if i != d).
-        eg.max = -1.0;
-        eg.second = -1.0;
-        for (std::size_t i = 0; i < n; ++i) {
-          const double v = loads.egress[i] + m.h(k, i);
-          if (v > eg.max) {
-            eg.second = eg.max;
-            eg.max = v;
-            eg.arg_max = i;
-          } else if (v > eg.second) {
-            eg.second = v;
-          }
-        }
-      }
+      // Candidate scoring with the shared O(n) top-2 kernel (bounds.hpp).
+      const Top2 eg = top2_sum(loads.egress, row);
       const Top2 in = top2(loads.ingress);
 
       double best_t = 0.0;
       std::uint32_t best_d = old_d;
       bool first = true;
       for (std::uint32_t d = 0; d < n; ++d) {
-        const double egress_max =
-            std::max(d == eg.arg_max ? std::max(eg.second, loads.egress[d])
-                                     : eg.max,
-                     loads.egress[d]);
-        const double in_other = d == in.arg_max ? in.second : in.max;
-        const double ingress_max =
-            std::max(in_other,
-                     loads.ingress[d] + (part_total[k] - m.h(k, d)));
-        const double t = std::max(egress_max, ingress_max);
+        const double t =
+            placement_bottleneck(eg, in, loads.egress[d], loads.ingress[d],
+                                 part_total[k], row[d], d);
         if (first || t < best_t || (t == best_t && d == old_d)) {
           best_t = t;
           best_d = d;
@@ -108,9 +63,9 @@ LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
 
       // Re-apply at the chosen destination.
       for (std::size_t i = 0; i < n; ++i) {
-        if (i != best_d) loads.egress[i] += m.h(k, i);
+        if (i != best_d) loads.egress[i] += row[i];
       }
-      loads.ingress[best_d] += part_total[k] - m.h(k, best_d);
+      loads.ingress[best_d] += part_total[k] - row[best_d];
       if (best_d != old_d && best_t < result.final_T) {
         dest[k] = best_d;
         ++result.moves;
@@ -119,19 +74,144 @@ LocalSearchResult refine(const AssignmentProblem& problem, Assignment& dest,
       } else if (best_d != old_d) {
         // Move does not improve the global bottleneck: revert.
         for (std::size_t i = 0; i < n; ++i) {
-          if (i != best_d) loads.egress[i] -= m.h(k, i);
+          if (i != best_d) loads.egress[i] -= row[i];
         }
-        loads.ingress[best_d] -= part_total[k] - m.h(k, best_d);
+        loads.ingress[best_d] -= part_total[k] - row[best_d];
         for (std::size_t i = 0; i < n; ++i) {
-          if (i != old_d) loads.egress[i] += m.h(k, i);
+          if (i != old_d) loads.egress[i] += row[i];
         }
-        loads.ingress[old_d] += part_total[k] - m.h(k, old_d);
+        loads.ingress[old_d] += part_total[k] - row[old_d];
         dest[k] = old_d;
       }
     }
     if (!moved) break;
   }
   result.final_T = loads.makespan();
+  return result;
+}
+
+namespace {
+
+/// One greedy construction. With `rng == nullptr` this is exactly the
+/// paper's Algorithm 1 as CcfScheduler computes it (size-descending order,
+/// first-minimum destination); with an rng the sort key is perturbed and
+/// each placement picks uniformly among the `rcl` best destinations.
+Assignment construct(const AssignmentProblem& problem, util::Pcg32* rng,
+                     double sort_noise, std::size_t rcl) {
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+  const std::size_t p = m.partitions();
+
+  std::vector<double> key(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    key[k] = m.partition_max(k);
+    if (rng != nullptr) key[k] *= 1.0 + sort_noise * rng->uniform01();
+  }
+  std::vector<std::uint32_t> order(p);
+  for (std::size_t k = 0; k < p; ++k) order[k] = static_cast<std::uint32_t>(k);
+  std::stable_sort(order.begin(), order.end(),
+                   [&key](std::uint32_t a, std::uint32_t b) {
+                     return key[a] > key[b];
+                   });
+
+  std::vector<double> egress(n), ingress(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    egress[i] = problem.initial_egress_at(i);
+    ingress[i] = problem.initial_ingress_at(i);
+  }
+
+  struct Scored {
+    double t;
+    std::uint32_t d;
+  };
+  std::vector<Scored> rcl_best;  // the `rcl` best candidates, (t, d) ascending
+  rcl_best.reserve(rcl);
+
+  Assignment dest(p, 0);
+  for (const std::uint32_t k : order) {
+    const double sk = m.partition_total(k);
+    const std::span<const double> row = m.partition_row(k);
+    const Top2 eg = top2_sum(egress, row);
+    const Top2 in = top2(ingress);
+
+    std::uint32_t best_d = 0;
+    if (rng == nullptr) {
+      double best_t = 0.0;
+      bool first = true;
+      for (std::uint32_t d = 0; d < n; ++d) {
+        const double t = placement_bottleneck(eg, in, egress[d], ingress[d],
+                                              sk, row[d], d);
+        if (first || t < best_t) {
+          best_t = t;
+          best_d = d;
+          first = false;
+        }
+      }
+    } else {
+      rcl_best.clear();
+      for (std::uint32_t d = 0; d < n; ++d) {
+        const Scored s{placement_bottleneck(eg, in, egress[d], ingress[d],
+                                            sk, row[d], d),
+                       d};
+        auto pos = std::find_if(rcl_best.begin(), rcl_best.end(),
+                                [&s](const Scored& o) { return s.t < o.t; });
+        if (rcl_best.size() < rcl) {
+          rcl_best.insert(pos, s);
+        } else if (pos != rcl_best.end()) {
+          rcl_best.pop_back();
+          rcl_best.insert(pos, s);
+        }
+      }
+      best_d =
+          rcl_best[rng->bounded(static_cast<std::uint32_t>(rcl_best.size()))]
+              .d;
+    }
+
+    dest[k] = best_d;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != best_d) egress[i] += row[i];
+    }
+    ingress[best_d] += sk - row[best_d];
+  }
+  return dest;
+}
+
+}  // namespace
+
+GraspResult grasp(const AssignmentProblem& problem, GraspOptions options) {
+  problem.validate();
+  const std::size_t starts = std::max<std::size_t>(1, options.starts);
+  const std::size_t rcl = std::max<std::size_t>(1, options.rcl);
+
+  struct Start {
+    Assignment dest;
+    double T = 0.0;
+  };
+  std::vector<Start> runs(starts);
+  util::parallel_for(
+      starts,
+      [&](std::size_t s) {
+        Assignment dest;
+        if (s == 0) {
+          dest = construct(problem, nullptr, 0.0, 1);
+        } else {
+          util::Pcg32 rng(util::derive_seed(options.seed, s), s);
+          dest = construct(problem, &rng, options.sort_noise, rcl);
+        }
+        runs[s].T = refine(problem, dest, options.refine).final_T;
+        runs[s].dest = std::move(dest);
+      },
+      options.threads);
+
+  // Index-order reduction keeps the result independent of thread count.
+  GraspResult result;
+  result.starts = starts;
+  result.best_start = 0;
+  for (std::size_t s = 1; s < starts; ++s) {
+    if (runs[s].T < runs[result.best_start].T) result.best_start = s;
+  }
+  result.dest = std::move(runs[result.best_start].dest);
+  result.T = runs[result.best_start].T;
   return result;
 }
 

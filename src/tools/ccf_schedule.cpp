@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
                               "Partition placement front end (Algorithm 1)");
     args.add_flag("chunks", "", "CSV of partition,node,bytes rows (required)");
     args.add_flag("scheduler", "ccf",
-                  "hash | mini | ccf | ccf-ls | exact | random");
+                  "hash | mini | ccf | ccf-ls | ccf-portfolio | exact | random");
     args.add_flag("port-rate", "125M", "port bandwidth in bytes/s");
     args.add_flag("out", "", "write the assignment as partition,node CSV");
     args.add_flag("export-lp", "", "write model (3) in CPLEX-LP format");

@@ -9,14 +9,18 @@
 
 namespace ccf::util {
 
+std::size_t effective_threads(std::size_t requested) noexcept {
+  if (requested == 0) {
+    requested = std::thread::hardware_concurrency();
+    if (requested == 0) requested = 1;
+  }
+  return requested;
+}
+
 namespace {
 
 std::size_t resolve_threads(std::size_t threads, std::size_t work_units) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  return std::min(threads, work_units);
+  return std::min(effective_threads(threads), work_units);
 }
 
 /// Drain `units` work items through `run(unit)` on `threads` workers,

@@ -29,6 +29,12 @@ void parallel_for(std::size_t count, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t threads = 0);
 
+/// Worker threads a parallel_for with `requested` threads will actually use
+/// for unbounded work: `requested`, or hardware concurrency when 0 (minimum
+/// 1). Callers sizing a task fan-out (e.g. the branch-and-bound subtree
+/// split) use this to know the real pool width before submitting.
+std::size_t effective_threads(std::size_t requested = 0) noexcept;
+
 /// Number of chunks the chunked overload will execute: ceil(count / grain).
 constexpr std::size_t parallel_chunk_count(std::size_t count,
                                            std::size_t grain) noexcept {

@@ -14,7 +14,8 @@ AssignmentProblem problem_for(const data::ChunkMatrix& m) {
 }
 
 TEST(MakeScheduler, AllNamesResolve) {
-  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "exact", "random"}) {
+  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "ccf-portfolio",
+                           "exact", "random"}) {
     EXPECT_EQ(make_scheduler(name)->name(), name);
   }
   EXPECT_THROW(make_scheduler("bogus"), std::invalid_argument);
@@ -105,7 +106,8 @@ TEST(Schedulers, SingleNodeClusterKeepsEverythingLocal) {
   data::ChunkMatrix m(4, 1);
   for (std::size_t k = 0; k < 4; ++k) m.set(k, 0, 10.0);
   const auto p = problem_for(m);
-  for (const char* name : {"hash", "mini", "ccf", "ccf-ls", "exact"}) {
+  for (const char* name :
+       {"hash", "mini", "ccf", "ccf-ls", "ccf-portfolio", "exact"}) {
     const Assignment dest = make_scheduler(name)->schedule(p);
     for (const std::uint32_t d : dest) EXPECT_EQ(d, 0u) << name;
     EXPECT_DOUBLE_EQ(opt::traffic(p, dest), 0.0) << name;
