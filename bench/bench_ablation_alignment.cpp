@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §7): the paper's generator rank-aligns the Zipf chunk
+// Ablation (DESIGN.md §8): the paper's generator rank-aligns the Zipf chunk
 // sizes so node 0 holds the largest chunk of EVERY partition — the worst
 // case for Mini (everything flushes to node 0). This bench contrasts that
 // with unaligned ranks (each partition's largest chunk on a random node),

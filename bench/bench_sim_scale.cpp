@@ -60,13 +60,27 @@ struct RunResult {
   double ms = 0.0;
 };
 
+/// Deterministic fault mix for the faulted timing column: a handful of link
+/// degradations, port cuts and stragglers inside the trace window, every one
+/// restored so the workload still completes.
+ccf::net::FaultSchedule make_fault_schedule(std::size_t racks,
+                                            std::uint64_t seed) {
+  ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 82), 82);
+  ccf::net::RandomFaultOptions opts;
+  opts.horizon = 30.0;
+  opts.outage = 5.0;
+  return ccf::net::FaultSchedule::random(ccf::net::Fabric(racks), opts, rng);
+}
+
 RunResult run_once(const std::vector<ccf::net::CoflowSpec>& specs,
                    std::size_t racks, const std::string& allocator,
-                   ccf::net::SimEngine engine) {
+                   ccf::net::SimEngine engine,
+                   const ccf::net::FaultSchedule* faults = nullptr) {
   ccf::net::SimConfig config;
   config.engine = engine;
   ccf::net::Simulator sim(ccf::net::Fabric(racks),
                           ccf::net::make_allocator(allocator), config);
+  if (faults != nullptr) sim.set_faults(*faults);
   for (const auto& spec : specs) sim.add_coflow(spec);
   const auto t0 = std::chrono::steady_clock::now();
   RunResult r;
@@ -81,11 +95,12 @@ RunResult run_once(const std::vector<ccf::net::CoflowSpec>& specs,
 /// interference only ever adds time, so the minimum is the cleanest estimate.
 RunResult run_best(const std::vector<ccf::net::CoflowSpec>& specs,
                    std::size_t racks, const std::string& allocator,
-                   ccf::net::SimEngine engine, int reps) {
+                   ccf::net::SimEngine engine, int reps,
+                   const ccf::net::FaultSchedule* faults = nullptr) {
   RunResult best;
   best.ms = 1e300;
   for (int i = 0; i < reps; ++i) {
-    auto r = run_once(specs, racks, allocator, engine);
+    auto r = run_once(specs, racks, allocator, engine, faults);
     best.ms = std::min(best.ms, r.ms);
     best.report = std::move(r.report);
   }
@@ -151,6 +166,7 @@ struct BaselineEntry {
   std::string allocator;
   std::size_t coflows = 0, racks = 0;
   double incremental_ms = 0.0;
+  double faulted_ms = std::nan("");  ///< absent in pre-fault baselines
 };
 
 std::vector<BaselineEntry> load_baseline(const std::string& path) {
@@ -165,6 +181,7 @@ std::vector<BaselineEntry> load_baseline(const std::string& path) {
     e.coflows = static_cast<std::size_t>(json_number(line, "coflows"));
     e.racks = static_cast<std::size_t>(json_number(line, "racks"));
     e.incremental_ms = json_number(line, "incremental_ms");
+    e.faulted_ms = json_number(line, "faulted_ms");
     if (!e.allocator.empty() && std::isfinite(e.incremental_ms)) {
       entries.push_back(std::move(e));
     }
@@ -181,8 +198,10 @@ int run_smoke(const std::string& baseline_path, std::uint64_t seed) {
     return 1;
   }
   const auto specs = make_workload(kRacks, kCoflows, seed);
+  const auto faults = make_fault_schedule(kRacks, seed);
   bool ok = true;
-  ccf::util::Table t({"allocator", "now ms", "baseline ms", "ratio", "status"});
+  ccf::util::Table t({"allocator", "now ms", "baseline ms", "ratio",
+                      "faulted ms", "status"});
   for (const char* name : kAllocators) {
     // Equivalence sanity on every smoke run, on top of the timing check.
     const auto ref = run_once(specs, kRacks, name, ccf::net::SimEngine::kReference);
@@ -195,10 +214,27 @@ int run_smoke(const std::string& baseline_path, std::uint64_t seed) {
                 << " engine disagreement vs reference: " << why << "\n";
       ok = false;
     }
-    double base = std::nan("");
+    // Faulted variant: same workload under the random fault mix. Engines
+    // must still agree, and the timing is held to the same 2x rule against
+    // the baseline's faulted_ms (absent in pre-fault baselines: skipped).
+    const auto fref = run_once(specs, kRacks, name,
+                               ccf::net::SimEngine::kReference, &faults);
+    const auto finc = run_best(specs, kRacks, name,
+                               ccf::net::SimEngine::kIncremental, 3, &faults);
+    if (!reports_agree(fref.report, finc.report, why)) {
+      std::cerr << "perf-smoke: " << name
+                << " faulted engine disagreement vs reference: " << why << "\n";
+      ok = false;
+    }
+    if (finc.report.fault_events == 0) {
+      std::cerr << "perf-smoke: " << name << " faulted run applied no faults\n";
+      ok = false;
+    }
+    double base = std::nan(""), fbase = std::nan("");
     for (const auto& e : baseline) {
       if (e.allocator == name && e.coflows == kCoflows && e.racks == kRacks) {
         base = e.incremental_ms;
+        fbase = e.faulted_ms;
       }
     }
     std::string status = "ok";
@@ -208,16 +244,22 @@ int run_smoke(const std::string& baseline_path, std::uint64_t seed) {
       // >2x the checked-in time AND past a 25 ms noise floor.
       status = "REGRESSED";
       ok = false;
+    } else if (std::isfinite(fbase) && finc.ms > 2.0 * fbase &&
+               finc.ms - fbase > 25.0) {
+      status = "REGRESSED (faulted)";
+      ok = false;
     }
     std::ostringstream ratio;
     ratio.precision(2);
     ratio << std::fixed << (std::isfinite(base) ? ms / base : 0.0) << "x";
-    std::ostringstream mss, bss;
+    std::ostringstream mss, bss, fss;
     mss.precision(2);
     mss << std::fixed << ms;
     bss.precision(2);
     bss << std::fixed << (std::isfinite(base) ? base : 0.0);
-    t.add_row({name, mss.str(), bss.str(), ratio.str(), status});
+    fss.precision(2);
+    fss << std::fixed << finc.ms;
+    t.add_row({name, mss.str(), bss.str(), ratio.str(), fss.str(), status});
   }
   t.print(std::cout);
   if (!ok) {
@@ -253,24 +295,37 @@ int run_main(int argc, char** argv) {
        << ",\n  \"results\": [\n";
   bool first = true, ok = true;
   ccf::util::Table t({"workload", "allocator", "events", "reference ms",
-                      "incremental ms", "speedup"});
+                      "incremental ms", "speedup", "faulted ms"});
   for (const std::int64_t coflows : args.get_int_sweep("coflows")) {
     for (const std::int64_t racks : args.get_int_sweep("racks")) {
       const auto specs = make_workload(static_cast<std::size_t>(racks),
                                        static_cast<std::size_t>(coflows), seed);
+      const auto faults =
+          make_fault_schedule(static_cast<std::size_t>(racks), seed);
       for (const char* name : kAllocators) {
         const auto ref = run_best(specs, static_cast<std::size_t>(racks), name,
                                   ccf::net::SimEngine::kReference, reps);
         const auto inc = run_best(specs, static_cast<std::size_t>(racks), name,
                                   ccf::net::SimEngine::kIncremental, reps);
+        const auto finc =
+            run_best(specs, static_cast<std::size_t>(racks), name,
+                     ccf::net::SimEngine::kIncremental, reps, &faults);
+        const auto fref =
+            run_once(specs, static_cast<std::size_t>(racks), name,
+                     ccf::net::SimEngine::kReference, &faults);
         std::string why;
         if (!reports_agree(ref.report, inc.report, why)) {
           std::cerr << "ENGINE MISMATCH (" << coflows << "x" << racks << ", "
                     << name << "): " << why << "\n";
           ok = false;
         }
+        if (!reports_agree(fref.report, finc.report, why)) {
+          std::cerr << "FAULTED ENGINE MISMATCH (" << coflows << "x" << racks
+                    << ", " << name << "): " << why << "\n";
+          ok = false;
+        }
         const double speedup = inc.ms > 0.0 ? ref.ms / inc.ms : 0.0;
-        std::ostringstream wl, ev, rms, ims, sp;
+        std::ostringstream wl, ev, rms, ims, sp, fms;
         wl << coflows << "x" << racks;
         ev << inc.report.events;
         rms.precision(2);
@@ -279,14 +334,18 @@ int run_main(int argc, char** argv) {
         ims << std::fixed << inc.ms;
         sp.precision(1);
         sp << std::fixed << speedup << "x";
-        t.add_row({wl.str(), name, ev.str(), rms.str(), ims.str(), sp.str()});
+        fms.precision(2);
+        fms << std::fixed << finc.ms;
+        t.add_row({wl.str(), name, ev.str(), rms.str(), ims.str(), sp.str(),
+                   fms.str()});
         if (!first) json << ",\n";
         first = false;
         json << "    {\"allocator\": \"" << name
              << "\", \"coflows\": " << coflows << ", \"racks\": " << racks
              << ", \"events\": " << inc.report.events
              << ", \"reference_ms\": " << ref.ms
-             << ", \"incremental_ms\": " << inc.ms << "}";
+             << ", \"incremental_ms\": " << inc.ms
+             << ", \"faulted_ms\": " << finc.ms << "}";
       }
     }
   }

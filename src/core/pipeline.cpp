@@ -54,6 +54,9 @@ RunReport run_pipeline(const data::Workload& workload,
   // 4. Network-level execution.
   if (options.simulate) {
     net::Simulator sim(fabric, net::make_allocator(options.allocator));
+    if (!options.faults.empty()) {
+      sim.set_faults(options.faults, options.fault_options);
+    }
     sim.add_coflow(net::CoflowSpec(options.scheduler, 0.0, std::move(flows)));
     report.sim = sim.run();
     report.cct_seconds = report.sim.coflows.front().cct();

@@ -27,6 +27,11 @@ struct PipelineOptions {
   /// If false, skip the event simulation and report the analytic Γ as the
   /// CCT (exact for MADD; used by large sweeps for speed).
   bool simulate = true;
+  /// Fault schedule injected into the simulation (ignored when empty or when
+  /// simulate is false; the analytic Γ knows nothing about faults).
+  net::FaultSchedule faults;
+  /// Re-placement policy for the injected faults.
+  net::FaultOptions fault_options;
 
   /// The paper's configuration for one of the three compared systems:
   /// "hash" (no skew handling), "mini"/"ccf" (with skew handling); all on

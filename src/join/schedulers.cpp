@@ -116,6 +116,93 @@ Assignment RandomScheduler::schedule(const AssignmentProblem& problem) {
   return dest;
 }
 
+Assignment replace_failed_destinations(const AssignmentProblem& problem,
+                                       Assignment dest,
+                                       std::span<const std::uint32_t> failed) {
+  problem.validate();
+  const data::ChunkMatrix& m = *problem.matrix;
+  const std::size_t n = m.nodes();
+  const std::size_t p = m.partitions();
+  if (dest.size() != p) {
+    throw std::invalid_argument(
+        "replace_failed_destinations: placement size mismatch");
+  }
+  std::vector<char> dead(n, 0);
+  for (const std::uint32_t f : failed) {
+    if (f >= n) {
+      throw std::invalid_argument(
+          "replace_failed_destinations: failed node out of range");
+    }
+    dead[f] = 1;
+  }
+  if (static_cast<std::size_t>(std::count(dead.begin(), dead.end(), 1)) == n) {
+    throw std::invalid_argument(
+        "replace_failed_destinations: every node failed");
+  }
+
+  // Seed the greedy's load state from everything that survives: initial
+  // loads plus the kept (healthy-destination) placements. A failed node
+  // keeps sending — its chunks are still locally readable — so its egress
+  // accrues normally; its ingress stays 0 (initial ingress there is
+  // stranded, and nothing new may land on it).
+  std::vector<double> egress(n), ingress(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    egress[i] = problem.initial_egress_at(i);
+    ingress[i] = dead[i] ? 0.0 : problem.initial_ingress_at(i);
+  }
+  std::vector<std::uint32_t> affected;
+  for (std::size_t k = 0; k < p; ++k) {
+    if (dest[k] >= n) {
+      throw std::invalid_argument(
+          "replace_failed_destinations: placement refers to unknown node");
+    }
+    if (dead[dest[k]]) {
+      affected.push_back(static_cast<std::uint32_t>(k));
+      continue;
+    }
+    const std::span<const double> row = m.partition_row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != dest[k]) egress[i] += row[i];
+    }
+    ingress[dest[k]] += m.partition_total(k) - row[dest[k]];
+  }
+  if (affected.empty()) return dest;
+
+  // Re-place the stranded partitions with the Algorithm-1 greedy, restricted
+  // to surviving destinations. Dead nodes still participate in the top-2
+  // egress (they send) and sit at ingress 0, which is their true ingress
+  // time — nothing may flow to them.
+  std::stable_sort(affected.begin(), affected.end(),
+                   [&m](std::uint32_t a, std::uint32_t b) {
+                     return m.partition_max(a) > m.partition_max(b);
+                   });
+  for (const std::uint32_t k : affected) {
+    const double sk = m.partition_total(k);
+    const std::span<const double> row = m.partition_row(k);
+    const opt::Top2 eg = opt::top2_sum(egress, row);
+    const opt::Top2 in = opt::top2(ingress);
+    double best_t = 0.0;
+    std::uint32_t best_d = 0;
+    bool first = true;
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (dead[d]) continue;
+      const double t = opt::placement_bottleneck(eg, in, egress[d], ingress[d],
+                                                 sk, row[d], d);
+      if (first || t < best_t) {
+        best_t = t;
+        best_d = d;
+        first = false;
+      }
+    }
+    dest[k] = best_d;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != best_d) egress[i] += row[i];
+    }
+    ingress[best_d] += sk - row[best_d];
+  }
+  return dest;
+}
+
 std::unique_ptr<PartitionScheduler> make_scheduler(const std::string& name) {
   if (name == "hash") return std::make_unique<HashScheduler>();
   if (name == "mini") return std::make_unique<MiniScheduler>();

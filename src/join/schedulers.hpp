@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "opt/bnb.hpp"
@@ -109,5 +110,19 @@ class RandomScheduler final : public PartitionScheduler {
 /// Factory by name: "hash", "mini", "ccf", "ccf-ls", "ccf-portfolio",
 /// "exact", "random".
 std::unique_ptr<PartitionScheduler> make_scheduler(const std::string& name);
+
+/// Failure-aware re-planning (the application-level face of the simulator's
+/// re-placement hook, DESIGN.md §6): given a placement and the nodes whose
+/// *destination* role failed (dead ingress port — the node can still read
+/// and send its local chunks), re-assign every partition currently headed
+/// to a failed node with the Algorithm-1 greedy over the surviving nodes.
+/// Healthy partitions keep their destinations and their loads are the
+/// greedy's starting state, so the patch disturbs nothing that still works.
+/// Any initial_ingress load on a failed node is treated as stranded and
+/// excluded from the bottleneck. Throws std::invalid_argument if `failed`
+/// contains an out-of-range node or covers every node.
+Assignment replace_failed_destinations(const AssignmentProblem& problem,
+                                       Assignment dest,
+                                       std::span<const std::uint32_t> failed);
 
 }  // namespace ccf::join

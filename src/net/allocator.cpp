@@ -73,6 +73,14 @@ std::span<const Network::LinkId> AllocatorContext::links(std::uint32_t src,
   return it->second;
 }
 
+void AllocatorContext::update_capacities(std::span<const double> capacities) {
+  if (capacities.size() != capacity_.size()) {
+    throw std::invalid_argument(
+        "AllocatorContext::update_capacities: size mismatch");
+  }
+  std::copy(capacities.begin(), capacities.end(), capacity_.begin());
+}
+
 std::span<double> AllocatorContext::reset_residual() {
   std::copy(capacity_.begin(), capacity_.end(), residual_.begin());
   return residual_;

@@ -131,6 +131,13 @@ class AllocatorContext {
   /// Reset the shared residual buffer to the link capacities and return it.
   std::span<double> reset_residual();
 
+  /// Overwrite the cached link capacities with fault-adjusted values
+  /// (faults.hpp). Only capacities change: the link table and the per-flow
+  /// link spans stay valid because link *topology* never changes. The caller
+  /// must follow up with reset_caches() — cached keys (e.g. SEBF Γ) and
+  /// allocator-private state derived from the old capacities are stale.
+  void update_capacities(std::span<const double> capacities);
+
   // --- engine-side epoch control -------------------------------------
   /// Called by the engine before each allocate(): clears per-epoch outputs.
   void begin_epoch();

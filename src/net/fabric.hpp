@@ -35,6 +35,15 @@ class Fabric : public Network {
   /// Capacity of the slowest port.
   double min_capacity() const noexcept;
 
+  /// LinkId of node's egress / ingress port (the fabric's fixed layout;
+  /// fault schedules targeting specific ports use these).
+  LinkId egress_link(std::size_t node) const noexcept {
+    return static_cast<LinkId>(node);
+  }
+  LinkId ingress_link(std::size_t node) const noexcept {
+    return static_cast<LinkId>(nodes() + node);
+  }
+
   // Network interface.
   std::size_t link_count() const noexcept override { return 2 * nodes(); }
   double link_capacity(LinkId link) const override;

@@ -1,0 +1,158 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ccf::net {
+
+namespace {
+
+void check_time(double time) {
+  if (!(time >= 0.0) || !std::isfinite(time)) {
+    throw std::invalid_argument("FaultSchedule: event time must be finite, >= 0");
+  }
+}
+
+void check_factor(double factor) {
+  if (!(factor >= 0.0 && factor <= 1.0)) {
+    throw std::invalid_argument("FaultSchedule: factor must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::insert(FaultEvent event) {
+  // Stable insertion by time: equal-time events keep builder-call order, so
+  // "degrade then restore at t" means restored (last write wins per link).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event.time,
+      [](double t, const FaultEvent& e) { return t < e.time; });
+  events_.insert(pos, event);
+}
+
+FaultSchedule& FaultSchedule::degrade_link(double time, Network::LinkId link,
+                                           double factor) {
+  check_time(time);
+  check_factor(factor);
+  FaultEvent e;
+  e.time = time;
+  e.kind = FaultKind::kDegradeLink;
+  e.link = link;
+  e.factor = factor;
+  insert(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restore_link(double time, Network::LinkId link) {
+  check_time(time);
+  FaultEvent e;
+  e.time = time;
+  e.kind = FaultKind::kRestoreLink;
+  e.link = link;
+  e.factor = 1.0;
+  insert(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::degrade_port(double time, std::uint32_t node,
+                                           PortSide side, double factor) {
+  check_time(time);
+  check_factor(factor);
+  FaultEvent e;
+  e.time = time;
+  e.kind = FaultKind::kDegradePort;
+  e.node = node;
+  e.side = side;
+  e.factor = factor;
+  insert(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restore_port(double time, std::uint32_t node,
+                                           PortSide side) {
+  check_time(time);
+  FaultEvent e;
+  e.time = time;
+  e.kind = FaultKind::kRestorePort;
+  e.node = node;
+  e.side = side;
+  e.factor = 1.0;
+  insert(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::fail_port(double time, std::uint32_t node,
+                                        PortSide side) {
+  return degrade_port(time, node, side, 0.0);
+}
+
+FaultSchedule& FaultSchedule::slow_node(double time, std::uint32_t node,
+                                        double factor) {
+  return degrade_port(time, node, PortSide::kBoth, factor);
+}
+
+FaultSchedule& FaultSchedule::restore_node(double time, std::uint32_t node) {
+  return restore_port(time, node, PortSide::kBoth);
+}
+
+void FaultSchedule::validate(const Network& network) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    const std::string where = "FaultSchedule: event " + std::to_string(i);
+    switch (e.kind) {
+      case FaultKind::kDegradeLink:
+      case FaultKind::kRestoreLink:
+        if (e.link >= network.link_count()) {
+          throw std::invalid_argument(where + ": link id out of range");
+        }
+        break;
+      case FaultKind::kDegradePort:
+      case FaultKind::kRestorePort:
+        if (e.node >= network.nodes()) {
+          throw std::invalid_argument(where + ": node id out of range");
+        }
+        break;
+    }
+  }
+}
+
+FaultSchedule FaultSchedule::random(const Network& network,
+                                    const RandomFaultOptions& options,
+                                    util::Pcg32& rng) {
+  if (network.link_count() == 0 || network.nodes() == 0) {
+    throw std::invalid_argument("FaultSchedule::random: empty network");
+  }
+  if (!(options.horizon > 0.0) || !(options.outage > 0.0)) {
+    throw std::invalid_argument(
+        "FaultSchedule::random: horizon and outage must be > 0");
+  }
+  FaultSchedule s;
+  for (std::size_t i = 0; i < options.link_degradations; ++i) {
+    const auto link = static_cast<Network::LinkId>(
+        rng.bounded(static_cast<std::uint32_t>(network.link_count())));
+    const double t = rng.uniform(0.0, options.horizon);
+    const double f = rng.uniform(options.min_factor, 0.9);
+    s.degrade_link(t, link, f);
+    s.restore_link(t + options.outage, link);
+  }
+  for (std::size_t i = 0; i < options.port_failures; ++i) {
+    const auto node = rng.bounded(static_cast<std::uint32_t>(network.nodes()));
+    const double t = rng.uniform(0.0, options.horizon);
+    const PortSide side =
+        rng.uniform01() < 0.5 ? PortSide::kIngress : PortSide::kEgress;
+    s.fail_port(t, node, side);
+    s.restore_port(t + options.outage, node, side);
+  }
+  for (std::size_t i = 0; i < options.stragglers; ++i) {
+    const auto node = rng.bounded(static_cast<std::uint32_t>(network.nodes()));
+    const double t = rng.uniform(0.0, options.horizon);
+    const double f = rng.uniform(options.min_factor, 0.5);
+    s.slow_node(t, node, f);
+    s.restore_node(t + options.outage, node);
+  }
+  return s;
+}
+
+}  // namespace ccf::net

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the fabric (DESIGN.md §6).
+//
+// Real analytics clusters do not run on the paper's pristine non-blocking
+// switch: links degrade, ports flap, nodes straggle. A FaultSchedule is a
+// time-sorted list of capacity-change events the simulator consumes as
+// first-class events — at each fault epoch the engine rescales the affected
+// links, refreshes the allocator's cached capacities, and invalidates the
+// capacity-derived caches through the existing dirty/reset path. Everything
+// is plain data seeded explicitly, so a faulted run is exactly reproducible
+// from (workload seed, schedule) — the property the fault tests pin down.
+//
+// Capacity changes are expressed as *scale factors* against the pristine
+// network: `degrade` sets a link's scale (last write wins per link),
+// `restore` sets it back to 1. A factor of 0 models a hard failure; the
+// allocators already tolerate zero-capacity links (a flow crossing one is
+// simply starved), which is what makes failure a special case of degradation
+// rather than a separate code path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+
+/// Which side(s) of a node's attachment a port-level event hits.
+enum class PortSide : std::uint8_t { kEgress, kIngress, kBoth };
+
+enum class FaultKind : std::uint8_t {
+  kDegradeLink,  ///< scale one link's capacity by `factor`
+  kRestoreLink,  ///< reset one link's scale to 1
+  kDegradePort,  ///< scale a node's port link(s) by `factor`
+  kRestorePort,  ///< reset a node's port link(s) to scale 1
+};
+
+/// One timed capacity change. Link kinds use `link`; port kinds use
+/// `node` + `side` and resolve to links through the network's port mapping
+/// (Network::append_egress_links / append_ingress_links).
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kDegradeLink;
+  Network::LinkId link = 0;
+  std::uint32_t node = 0;
+  PortSide side = PortSide::kBoth;
+  double factor = 1.0;  ///< capacity scale in [0, 1]; 0 = hard failure
+};
+
+/// Knobs for FaultSchedule::random. Every injected degradation is paired
+/// with a restore `outage` seconds later, so a random schedule never leaves
+/// a link permanently dead — workloads always run to completion.
+struct RandomFaultOptions {
+  std::size_t link_degradations = 3;  ///< partial single-link degradations
+  std::size_t port_failures = 2;      ///< hard (factor 0) one-sided port cuts
+  std::size_t stragglers = 1;         ///< whole-node slow-downs (both sides)
+  double horizon = 10.0;              ///< fault times drawn from [0, horizon)
+  double outage = 2.0;                ///< seconds until the paired restore
+  double min_factor = 0.1;            ///< degradation factors >= this
+};
+
+/// Simulator-side fault handling knobs (Simulator::set_faults).
+struct FaultOptions {
+  /// Re-assign the unfinished remainder of flows whose destination port
+  /// degrades to `replace_threshold` or below (CCF's greedy heuristic over
+  /// the surviving nodes). Off by default: the baseline rides out the fault.
+  bool replace_on_failure = false;
+  /// Ingress-scale cutoff: a kDegradePort event with factor <= threshold
+  /// triggers re-placement, and nodes at or below it are not candidates.
+  double replace_threshold = 0.0;
+};
+
+/// A time-sorted fault schedule. Builders keep events sorted by time
+/// (stable: equal-time events apply in insertion order, last write wins per
+/// link), so the simulator consumes them with a single cursor.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // --- builders (all return *this for chaining) -----------------------
+  FaultSchedule& degrade_link(double time, Network::LinkId link, double factor);
+  FaultSchedule& restore_link(double time, Network::LinkId link);
+  FaultSchedule& degrade_port(double time, std::uint32_t node, PortSide side,
+                              double factor);
+  FaultSchedule& restore_port(double time, std::uint32_t node,
+                              PortSide side = PortSide::kBoth);
+  /// Hard port failure: degrade_port with factor 0.
+  FaultSchedule& fail_port(double time, std::uint32_t node,
+                           PortSide side = PortSide::kBoth);
+  /// Straggler: scale both of a node's ports (slow NIC / CPU-bound node).
+  FaultSchedule& slow_node(double time, std::uint32_t node, double factor);
+  FaultSchedule& restore_node(double time, std::uint32_t node);
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::span<const FaultEvent> events() const noexcept { return events_; }
+
+  /// Check every event against a concrete network (link/node ids in range).
+  /// Throws std::invalid_argument on the first violation.
+  void validate(const Network& network) const;
+
+  /// Seed-reproducible random schedule: `link_degradations` partial link
+  /// degradations, `port_failures` hard one-sided port cuts and `stragglers`
+  /// node slow-downs, each restored `outage` seconds later.
+  static FaultSchedule random(const Network& network,
+                              const RandomFaultOptions& options,
+                              util::Pcg32& rng);
+
+ private:
+  void insert(FaultEvent event);
+
+  std::vector<FaultEvent> events_;  ///< sorted by time, insertion-stable
+};
+
+/// Read-through Network decorator exposing the simulator's current
+/// (fault-adjusted) capacities: topology delegates to the base network while
+/// link_capacity reads an overlay vector the owner mutates as fault events
+/// apply. Unlike a pristine Network, link_capacity may legitimately return 0
+/// (a failed link); allocators handle that by starving the flows crossing it.
+class FaultedNetworkView final : public Network {
+ public:
+  /// Both referents must outlive the view; `current` must stay sized to
+  /// base.link_count().
+  FaultedNetworkView(const Network& base, const std::vector<double>& current)
+      : base_(&base), current_(&current) {}
+
+  std::size_t nodes() const noexcept override { return base_->nodes(); }
+  std::size_t link_count() const noexcept override {
+    return base_->link_count();
+  }
+  double link_capacity(LinkId link) const override {
+    return (*current_)[link];
+  }
+  void append_links(std::uint32_t src, std::uint32_t dst,
+                    std::vector<LinkId>& out) const override {
+    base_->append_links(src, dst, out);
+  }
+  void append_egress_links(std::uint32_t node,
+                           std::vector<LinkId>& out) const override {
+    base_->append_egress_links(node, out);
+  }
+  void append_ingress_links(std::uint32_t node,
+                            std::vector<LinkId>& out) const override {
+    base_->append_ingress_links(node, out);
+  }
+
+ private:
+  const Network* base_;
+  const std::vector<double>* current_;
+};
+
+}  // namespace ccf::net

@@ -72,4 +72,57 @@ void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path) {
   }
 }
 
+FaultSchedule fault_schedule_from_csv(const std::string& path) {
+  auto rows = util::read_csv_file(path);
+  if (!rows.empty() && !rows.front().empty() && !numeric_cell(rows.front()[0])) {
+    rows.erase(rows.begin());  // header
+  }
+  auto side_of = [](const std::string& s) {
+    if (s.empty() || s == "both") return PortSide::kBoth;
+    if (s == "egress") return PortSide::kEgress;
+    if (s == "ingress") return PortSide::kIngress;
+    throw std::invalid_argument("fault_schedule_from_csv: unknown side: " + s);
+  };
+  auto factor_of = [](const std::vector<std::string>& row) {
+    if (row.size() < 5 || row[4].empty()) {
+      throw std::invalid_argument(
+          "fault_schedule_from_csv: degrade rows need a factor");
+    }
+    return std::stod(row[4]);
+  };
+  FaultSchedule schedule;
+  for (const auto& row : rows) {
+    if (row.size() < 3) {
+      throw std::invalid_argument(
+          "fault_schedule_from_csv: expected time,kind,id[,side[,factor]]");
+    }
+    const double time = std::stod(row[0]);
+    const std::string& kind = row[1];
+    const auto id = std::stoull(row[2]);
+    const std::string side = row.size() > 3 ? row[3] : std::string();
+    if (kind == "degrade-link") {
+      schedule.degrade_link(time, static_cast<Network::LinkId>(id),
+                            factor_of(row));
+    } else if (kind == "restore-link") {
+      schedule.restore_link(time, static_cast<Network::LinkId>(id));
+    } else if (kind == "degrade-port") {
+      schedule.degrade_port(time, static_cast<std::uint32_t>(id), side_of(side),
+                            factor_of(row));
+    } else if (kind == "restore-port") {
+      schedule.restore_port(time, static_cast<std::uint32_t>(id),
+                            side_of(side));
+    } else if (kind == "fail-port") {
+      schedule.fail_port(time, static_cast<std::uint32_t>(id), side_of(side));
+    } else if (kind == "slow-node") {
+      schedule.slow_node(time, static_cast<std::uint32_t>(id), factor_of(row));
+    } else if (kind == "restore-node") {
+      schedule.restore_node(time, static_cast<std::uint32_t>(id));
+    } else {
+      throw std::invalid_argument("fault_schedule_from_csv: unknown kind: " +
+                                  kind);
+    }
+  }
+  return schedule;
+}
+
 }  // namespace ccf::net

@@ -1,10 +1,12 @@
-// Flow-matrix serialization: "src,dst,bytes" CSV (with an optional header
-// row), the interchange format of the ccf_sim tool. Diagonal entries are
+// Flow-matrix and fault-schedule serialization: "src,dst,bytes" and
+// "time,kind,id,side,factor" CSVs (each with an optional header row), the
+// interchange formats of the ccf_sim tool. Diagonal flow entries are
 // rejected as they would silently carry no traffic.
 #pragma once
 
 #include <string>
 
+#include "net/faults.hpp"
 #include "net/flow.hpp"
 
 namespace ccf::net {
@@ -16,5 +18,13 @@ FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes = 0);
 
 /// Write the off-diagonal entries as "src,dst,bytes" with a header row.
 void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path);
+
+/// Parse a fault schedule CSV. Lines "time,kind,id,side,factor" where kind is
+/// one of degrade-link, restore-link, degrade-port, restore-port, fail-port,
+/// slow-node, restore-node; `id` is a link id for the link kinds and a node
+/// id otherwise; `side` is egress | ingress | both (blank = both, ignored by
+/// link/node kinds); `factor` is the capacity scale (blank for restores and
+/// fail-port). A first row of non-numeric cells is treated as a header.
+FaultSchedule fault_schedule_from_csv(const std::string& path);
 
 }  // namespace ccf::net

@@ -27,12 +27,28 @@ class Network {
   virtual std::size_t nodes() const noexcept = 0;
   /// Total number of capacitated links.
   virtual std::size_t link_count() const noexcept = 0;
-  /// Capacity of one link in bytes/second. Always > 0.
+  /// Capacity of one link in bytes/second. Pristine topologies keep this
+  /// > 0; a fault-adjusted view (faults.hpp) may report 0 for a failed link.
   virtual double link_capacity(LinkId link) const = 0;
   /// Append the links flow (src -> dst) traverses (the paper's L_ij).
   /// Requires src != dst; both < nodes().
   virtual void append_links(std::uint32_t src, std::uint32_t dst,
                             std::vector<LinkId>& out) const = 0;
+
+  /// Links forming a node's egress-side attachment — what a node-level fault
+  /// (faults.hpp) degrades. The default assumes the convention every bundled
+  /// topology follows: LinkId `node` is node's egress port and
+  /// `nodes() + node` its ingress port; a network with a different port
+  /// layout must override both.
+  virtual void append_egress_links(std::uint32_t node,
+                                   std::vector<LinkId>& out) const {
+    out.push_back(static_cast<LinkId>(node));
+  }
+  /// Ingress-side counterpart of append_egress_links.
+  virtual void append_ingress_links(std::uint32_t node,
+                                    std::vector<LinkId>& out) const {
+    out.push_back(static_cast<LinkId>(nodes() + node));
+  }
 
   /// Convenience wrapper around append_links.
   std::vector<LinkId> links_of(std::uint32_t src, std::uint32_t dst) const {

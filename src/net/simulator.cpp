@@ -88,6 +88,16 @@ void Simulator::add_coflow(CoflowSpec spec) {
   specs_.push_back(std::move(spec));
 }
 
+void Simulator::set_faults(FaultSchedule schedule, FaultOptions options) {
+  if (ran_) throw std::logic_error("Simulator: set_faults after run()");
+  if (!(options.replace_threshold >= 0.0 && options.replace_threshold <= 1.0)) {
+    throw std::invalid_argument("Simulator: replace_threshold not in [0, 1]");
+  }
+  schedule.validate(*network_);
+  faults_ = std::move(schedule);
+  fault_options_ = options;
+}
+
 SimReport Simulator::run() {
   if (ran_) throw std::logic_error("Simulator: run() called twice");
   ran_ = true;
@@ -166,6 +176,68 @@ SimReport Simulator::run() {
   view.rate = rate.data();
   view.link_ptr = link_ptr.data();
   view.link_len = link_len.data();
+
+  // Fault machinery (faults.hpp). Every fault structure and code path below
+  // is gated on have_faults, so a run without a schedule executes exactly
+  // the pre-fault engine — the empty-schedule bit-identity the property
+  // tests assert. Schedule events are resolved to concrete link lists once,
+  // up front; the loop then consumes them with a single cursor.
+  const bool have_faults = !faults_.empty();
+  struct ResolvedFault {
+    double time = 0.0;
+    double factor = 1.0;
+    std::uint32_t node = 0;
+    bool replace = false;  ///< ingress failure that triggers re-placement
+    std::vector<Network::LinkId> links;
+  };
+  std::vector<ResolvedFault> resolved_faults;
+  std::vector<double> base_cap, current_cap, link_scale;
+  std::unique_ptr<FaultedNetworkView> faulted_view;
+  // Network the reference engine's per-event AoS rebuild reads capacities
+  // from; with faults installed it must see the current (degraded) values.
+  const Network* sched_net = network_.get();
+  std::size_t fault_cursor = 0;
+  if (have_faults) {
+    const std::size_t link_count = network_->link_count();
+    base_cap.resize(link_count);
+    for (std::size_t l = 0; l < link_count; ++l) {
+      base_cap[l] = network_->link_capacity(static_cast<Network::LinkId>(l));
+    }
+    current_cap = base_cap;
+    link_scale.assign(link_count, 1.0);
+    faulted_view = std::make_unique<FaultedNetworkView>(*network_, current_cap);
+    sched_net = faulted_view.get();
+    resolved_faults.reserve(faults_.size());
+    for (const FaultEvent& e : faults_.events()) {
+      ResolvedFault r;
+      r.time = e.time;
+      r.factor = (e.kind == FaultKind::kRestoreLink ||
+                  e.kind == FaultKind::kRestorePort)
+                     ? 1.0
+                     : e.factor;
+      r.node = e.node;
+      switch (e.kind) {
+        case FaultKind::kDegradeLink:
+        case FaultKind::kRestoreLink:
+          r.links.push_back(e.link);
+          break;
+        case FaultKind::kDegradePort:
+        case FaultKind::kRestorePort:
+          if (e.side != PortSide::kIngress) {
+            network_->append_egress_links(e.node, r.links);
+          }
+          if (e.side != PortSide::kEgress) {
+            network_->append_ingress_links(e.node, r.links);
+          }
+          break;
+      }
+      r.replace = fault_options_.replace_on_failure &&
+                  e.kind == FaultKind::kDegradePort &&
+                  e.side != PortSide::kEgress &&
+                  e.factor <= fault_options_.replace_threshold;
+      resolved_faults.push_back(std::move(r));
+    }
+  }
 
   const bool incremental = config_.engine == SimEngine::kIncremental;
   if (config_.record_trace) trace_.reserve(n + specs_.size() + 16);
@@ -267,14 +339,163 @@ SimReport Simulator::run() {
     active_end = w;
   };
 
+  // Failure-aware re-placement (DESIGN.md §6): when an ingress port fails
+  // mid-shuffle, move the unfinished remainder of the flows headed there
+  // onto surviving nodes with the CCF greedy — largest remainder first,
+  // each flow to the destination minimizing the resulting port-time
+  // bottleneck over the *remaining* bytes. Sources are fixed (the data sits
+  // on its sender), so only ingress times change; the top-2 trick makes the
+  // exclude-self maximum O(1) per candidate destination.
+  auto replace_flows_to = [&](std::uint32_t dead) {
+    constexpr std::uint32_t kNoNode = std::numeric_limits<std::uint32_t>::max();
+    const std::size_t nn = network_->nodes();
+    const double threshold = fault_options_.replace_threshold;
+    // Current per-node port capacities and ingress scales (min over the
+    // port's links; single-link ports on every bundled topology).
+    std::vector<double> ecap(nn, 0.0), icap(nn, 0.0), iscale(nn, 1.0);
+    {
+      std::vector<Network::LinkId> port;
+      for (std::uint32_t j = 0; j < nn; ++j) {
+        port.clear();
+        network_->append_egress_links(j, port);
+        double c = kInf;
+        for (const auto l : port) c = std::min(c, current_cap[l]);
+        ecap[j] = c == kInf ? 0.0 : c;
+        port.clear();
+        network_->append_ingress_links(j, port);
+        c = kInf;
+        double s = 1.0;
+        for (const auto l : port) {
+          c = std::min(c, current_cap[l]);
+          s = std::min(s, link_scale[l]);
+        }
+        icap[j] = c == kInf ? 0.0 : c;
+        iscale[j] = s;
+      }
+    }
+    // Remaining-byte port loads over live flows (active + not yet arrived)
+    // and the candidates: unfinished flows headed to the dead port.
+    std::vector<double> eload(nn, 0.0), iload(nn, 0.0);
+    std::vector<std::size_t> cands;
+    auto scan = [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (states[cof[i]].rejected || remaining[i] <= 0.0) continue;
+        eload[src[i]] += remaining[i];
+        iload[dst[i]] += remaining[i];
+        if (dst[i] == dead && remaining[i] > config_.completion_epsilon) {
+          cands.push_back(i);
+        }
+      }
+    };
+    scan(0, active_end);
+    scan(next_unarrived, n);
+    if (cands.empty()) return;
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return remaining[a] > remaining[b];
+                     });
+    // Egress times never change (sources are fixed); failed egress ports are
+    // excluded — their stranded load is not actionable by this hook.
+    double egress_time = 0.0;
+    for (std::uint32_t j = 0; j < nn; ++j) {
+      if (ecap[j] > 0.0) egress_time = std::max(egress_time, eload[j] / ecap[j]);
+    }
+    for (const std::size_t i : cands) {
+      const double v = remaining[i];
+      iload[dead] -= v;
+      // Top-2 ingress times over surviving nodes.
+      double t1 = -1.0, t2 = -1.0;
+      std::uint32_t a1 = kNoNode;
+      for (std::uint32_t j = 0; j < nn; ++j) {
+        if (iscale[j] <= threshold || icap[j] <= 0.0) continue;
+        const double t = iload[j] / icap[j];
+        if (t > t1) {
+          t2 = t1;
+          t1 = t;
+          a1 = j;
+        } else if (t > t2) {
+          t2 = t;
+        }
+      }
+      std::uint32_t best = kNoNode;
+      double best_time = kInf;
+      for (std::uint32_t j = 0; j < nn; ++j) {
+        if (j == src[i] || iscale[j] <= threshold || icap[j] <= 0.0) continue;
+        const double others = j == a1 ? (t2 < 0.0 ? 0.0 : t2) : t1;
+        const double t =
+            std::max({egress_time, others, (iload[j] + v) / icap[j]});
+        if (t < best_time) {
+          best_time = t;
+          best = j;
+        }
+      }
+      if (best == kNoNode) {  // no surviving destination: ride out the fault
+        iload[dead] += v;
+        continue;
+      }
+      dst[i] = best;
+      const auto links = ctx.links(src[i], best);
+      link_ptr[i] = links.data();
+      link_len[i] = static_cast<std::uint32_t>(links.size());
+      rate[i] = 0.0;
+      iload[best] += v;
+      ctx.touch(cof[i]);  // link sets changed: grouping structures are stale
+      ++report.replacements;
+    }
+  };
+
+  // Apply every fault event due at `now`: rescale the affected links, then
+  // refresh the allocator's cached capacities and drop its capacity-derived
+  // caches (SEBF Γ keys, allocator-private state keyed on generation())
+  // through the same reset path the reference engine uses. The link table
+  // survives — topology never changes.
+  std::vector<std::uint32_t> replace_pending;
+  auto apply_faults_due = [&] {
+    if (!have_faults) return;
+    bool changed = false;
+    while (fault_cursor < resolved_faults.size() &&
+           resolved_faults[fault_cursor].time <= now) {
+      const ResolvedFault& f = resolved_faults[fault_cursor];
+      for (const auto l : f.links) {
+        if (link_scale[l] != f.factor) {
+          link_scale[l] = f.factor;
+          current_cap[l] = base_cap[l] * f.factor;
+          changed = true;
+        }
+      }
+      if (f.replace) replace_pending.push_back(f.node);
+      ++fault_cursor;
+      ++report.fault_events;
+    }
+    if (changed) {
+      ctx.update_capacities(current_cap);
+      ctx.reset_caches();
+    }
+    if (!replace_pending.empty()) {
+      std::sort(replace_pending.begin(), replace_pending.end());
+      replace_pending.erase(
+          std::unique(replace_pending.begin(), replace_pending.end()),
+          replace_pending.end());
+      for (const std::uint32_t nd : replace_pending) replace_flows_to(nd);
+      replace_pending.clear();
+    }
+  };
+
   activate_arrivals();
+  apply_faults_due();
 
   while (true) {
     if (active_end == 0) {
-      // Nothing active: jump to the next arrival or finish.
+      // Nothing active: jump to the next arrival or fault, or finish (any
+      // fault past the last arrival cannot affect anything observable).
       if (next_unarrived >= n) break;
-      now = start[next_unarrived];
+      double t = start[next_unarrived];
+      if (have_faults && fault_cursor < resolved_faults.size()) {
+        t = std::min(t, resolved_faults[fault_cursor].time);
+      }
+      now = t;
       activate_arrivals();
+      apply_faults_due();
       continue;
     }
     if (report.events >= config_.max_events) {
@@ -305,7 +526,7 @@ SimReport Simulator::run() {
         f.remaining = remaining[i];
         f.rate = rate[i];
       }
-      allocator_->allocate(std::span<Flow>(aos), states, *network_, now);
+      allocator_->allocate(std::span<Flow>(aos), states, *sched_net, now);
       for (std::size_t i = 0; i < active_end; ++i) rate[i] = aos[i].rate;
     }
 
@@ -346,6 +567,12 @@ SimReport Simulator::run() {
       }
     }
     if (next_unarrived < n) dt = std::min(dt, start[next_unarrived] - now);
+    if (have_faults && fault_cursor < resolved_faults.size()) {
+      // Never step past a fault epoch: capacities change there. This also
+      // keeps a total outage alive — every flow may sit at rate 0 waiting
+      // for a scheduled restore, which is progress, not starvation.
+      dt = std::min(dt, resolved_faults[fault_cursor].time - now);
+    }
     if (dt == kInf) {
       throw std::runtime_error(
           "Simulator: starvation — allocator \"" + allocator_->name() +
@@ -353,11 +580,11 @@ SimReport Simulator::run() {
     }
     dt = std::max(dt, 0.0);
     // Forward-progress guard: a zero-length epoch is only legal when it
-    // consumes at least one pending arrival (or completes a flow); otherwise
-    // the loop would spin at this timestamp forever.
+    // consumes at least one pending arrival or fault event (or completes a
+    // flow); otherwise the loop would spin at this timestamp forever.
     const bool zero_dt = dt == 0.0;
     const std::size_t progress_before =
-        next_unarrived + next_coflow + completed_total;
+        next_unarrived + next_coflow + completed_total + fault_cursor;
 
     // Advance the clock and all active flows.
     now += dt;
@@ -438,8 +665,10 @@ SimReport Simulator::run() {
     }
 
     activate_arrivals();
-    if (zero_dt &&
-        next_unarrived + next_coflow + completed_total == progress_before) {
+    apply_faults_due();
+    if (zero_dt && next_unarrived + next_coflow + completed_total +
+                           fault_cursor ==
+                       progress_before) {
       throw std::runtime_error(
           "Simulator: no forward progress — allocator \"" +
           allocator_->name() + "\" produced a zero-length epoch at t=" +

@@ -33,6 +33,7 @@
 #include "net/allocator.hpp"
 #include "net/coflow.hpp"
 #include "net/fabric.hpp"
+#include "net/faults.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
 
@@ -91,6 +92,8 @@ struct SimReport {
   double makespan = 0.0;     ///< completion time of the last coflow
   double total_bytes = 0.0;  ///< bytes actually moved over the fabric
   std::size_t events = 0;    ///< scheduling epochs executed
+  std::size_t fault_events = 0;   ///< fault-schedule events applied
+  std::size_t replacements = 0;   ///< flows re-placed after a port failure
   /// coflow name -> index into `coflows`, filled by Simulator::run() (first
   /// occurrence wins on duplicate names). Manually assembled reports may
   /// leave it empty; cct_of falls back to a linear scan then.
@@ -119,6 +122,16 @@ class Simulator {
   /// Must be called before run().
   void add_coflow(CoflowSpec spec);
 
+  /// Install a fault schedule (validated against the network) consumed by
+  /// run() as first-class events: at each fault time the affected link
+  /// capacities are rescaled and the allocator's capacity-derived caches
+  /// invalidated. With options.replace_on_failure, a destination-port
+  /// degradation at or below options.replace_threshold re-places the
+  /// unfinished remainder of the flows headed there onto surviving nodes
+  /// (the CCF greedy over current port loads). An empty schedule is exactly
+  /// equivalent to never calling set_faults. Must be called before run().
+  void set_faults(FaultSchedule schedule, FaultOptions options = {});
+
   /// Run to completion of all coflows. Can only be called once.
   SimReport run();
 
@@ -132,6 +145,8 @@ class Simulator {
   SimConfig config_;
   std::vector<CoflowSpec> specs_;
   std::vector<TraceEvent> trace_;
+  FaultSchedule faults_;
+  FaultOptions fault_options_;
   bool ran_ = false;
 };
 

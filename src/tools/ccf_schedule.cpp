@@ -2,14 +2,19 @@
 //
 //   ccf_schedule --chunks chunks.csv [--scheduler ccf] [--port-rate 125M]
 //                [--out assignment.csv] [--export-lp model.lp]
+//                [--fail-nodes 0,3]
 //
 // chunks.csv rows: partition,node,bytes (optional header). Prints the
 // placement summary (traffic, bottleneck T, predicted CCT) for the chosen
 // scheduler, optionally writes the assignment as CSV and/or exports the
 // exact MILP in CPLEX-LP format for an external solver (the paper's Gurobi
-// path).
+// path). --fail-nodes re-plans the placement as if those destinations had
+// failed (join::replace_failed_destinations) and reports/writes the repaired
+// plan alongside the original.
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "data/io.hpp"
 #include "join/flows.hpp"
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
     args.add_flag("port-rate", "125M", "port bandwidth in bytes/s");
     args.add_flag("out", "", "write the assignment as partition,node CSV");
     args.add_flag("export-lp", "", "write model (3) in CPLEX-LP format");
+    args.add_flag("fail-nodes", "",
+                  "comma-separated destinations to fail and re-plan around");
     args.parse(argc, argv);
 
     if (args.get("chunks").empty()) {
@@ -53,7 +60,7 @@ int main(int argc, char** argv) {
     }
 
     const auto scheduler = ccf::join::make_scheduler(args.get("scheduler"));
-    const ccf::opt::Assignment dest = scheduler->schedule(problem);
+    ccf::opt::Assignment dest = scheduler->schedule(problem);
     const auto flows = ccf::join::assignment_flows(matrix, dest);
     const double rate = ccf::util::parse_scaled(args.get("port-rate"));
     const ccf::net::Fabric fabric(matrix.nodes(), rate);
@@ -67,6 +74,25 @@ int main(int argc, char** argv) {
                ccf::util::format_bytes(ccf::opt::makespan(problem, dest))});
     t.add_row({"predicted CCT (MADD)",
                ccf::util::format_seconds(ccf::net::gamma_bound(flows, fabric))});
+
+    if (!args.get("fail-nodes").empty()) {
+      std::vector<std::uint32_t> failed;
+      std::istringstream list(args.get("fail-nodes"));
+      for (std::string id; std::getline(list, id, ',');) {
+        failed.push_back(static_cast<std::uint32_t>(std::stoul(id)));
+      }
+      dest = ccf::join::replace_failed_destinations(problem, std::move(dest),
+                                                    failed);
+      const auto repaired = ccf::join::assignment_flows(matrix, dest);
+      t.add_row({"failed nodes", args.get("fail-nodes")});
+      t.add_row({"repaired traffic",
+                 ccf::util::format_bytes(repaired.traffic())});
+      t.add_row({"repaired T",
+                 ccf::util::format_bytes(ccf::opt::makespan(problem, dest))});
+      t.add_row({"repaired CCT (MADD)",
+                 ccf::util::format_seconds(
+                     ccf::net::gamma_bound(repaired, fabric))});
+    }
     t.print(std::cout);
 
     if (!args.get("out").empty()) {

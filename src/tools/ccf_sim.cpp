@@ -2,10 +2,14 @@
 //
 //   ccf_sim --flows flows.csv [--nodes N] [--allocator madd]
 //           [--port-rate 125M] [--racks R --hosts H --oversub S]
+//           [--faults faults.csv [--replace] [--replace-threshold X]]
 //
 // flows.csv rows: src,dst,bytes (optional header). Prints the coflow
 // completion time, the analytic optimum Γ, traffic, and bottleneck ports.
 // With --racks/--hosts the simulation runs on a two-tier rack topology.
+// --faults injects a time,kind,id,side,factor schedule (net/io.hpp);
+// --replace re-assigns flow remainders off ports degraded to at most
+// --replace-threshold.
 #include <iostream>
 #include <memory>
 
@@ -27,6 +31,11 @@ int main(int argc, char** argv) {
     args.add_flag("racks", "0", "racks (0 = flat non-blocking fabric)");
     args.add_flag("hosts", "0", "hosts per rack (with --racks)");
     args.add_flag("oversub", "1", "rack uplink oversubscription");
+    args.add_flag("faults", "", "CSV fault schedule: time,kind,id,side,factor");
+    args.add_flag("replace", "false",
+                  "re-place flow remainders off failed destination ports");
+    args.add_flag("replace-threshold", "0",
+                  "ingress scale at or below which --replace triggers");
     args.parse(argc, argv);
 
     if (args.get("flows").empty()) {
@@ -57,6 +66,14 @@ int main(int argc, char** argv) {
 
     ccf::net::Simulator sim(network,
                             ccf::net::make_allocator(args.get("allocator")));
+    const bool faulted = !args.get("faults").empty();
+    if (faulted) {
+      ccf::net::FaultOptions fault_options;
+      fault_options.replace_on_failure = args.get_bool("replace");
+      fault_options.replace_threshold = args.get_double("replace-threshold");
+      sim.set_faults(ccf::net::fault_schedule_from_csv(args.get("faults")),
+                     fault_options);
+    }
     sim.add_coflow(ccf::net::CoflowSpec("input", 0.0, std::move(flows)));
     const ccf::net::SimReport report = sim.run();
 
@@ -70,6 +87,10 @@ int main(int argc, char** argv) {
                               gamma > 0 ? report.coflows[0].cct() / gamma : 1.0,
                               3)});
     t.add_row({"scheduling epochs", std::to_string(report.events)});
+    if (faulted) {
+      t.add_row({"fault events", std::to_string(report.fault_events)});
+      t.add_row({"re-placed flows", std::to_string(report.replacements)});
+    }
     t.print(std::cout);
     return 0;
   } catch (const std::exception& e) {

@@ -120,6 +120,33 @@ TEST(RunPipeline, HashSeesFullSkewHotspot) {
   EXPECT_GT(r.makespan_bytes, 0.5 * skewed);
 }
 
+TEST(RunPipeline, FaultScheduleStretchesSimulatedCct) {
+  const auto w = small_workload();
+  PipelineOptions clean = PipelineOptions::paper_system("ccf");
+  PipelineOptions faulty = clean;
+  // Halve every port of node 0 for the whole run: the simulated CCT must
+  // strictly exceed the fault-free run, and the analytic Γ must not move.
+  faulty.faults.slow_node(0.0, 0, 0.5);
+  const RunReport rc = run_pipeline(w, clean);
+  const RunReport rf = run_pipeline(w, faulty);
+  EXPECT_GT(rf.cct_seconds, rc.cct_seconds);
+  EXPECT_DOUBLE_EQ(rf.gamma_seconds, rc.gamma_seconds);
+  EXPECT_GT(rf.sim.fault_events, 0u);
+  EXPECT_NEAR(rf.sim.total_bytes, rc.sim.total_bytes,
+              1e-9 * (1.0 + rc.sim.total_bytes));
+}
+
+TEST(RunPipeline, EmptyFaultScheduleChangesNothing) {
+  const auto w = small_workload();
+  PipelineOptions opts = PipelineOptions::paper_system("ccf");
+  const RunReport a = run_pipeline(w, opts);
+  opts.faults = net::FaultSchedule{};  // explicit empty schedule
+  opts.fault_options.replace_on_failure = true;
+  const RunReport b = run_pipeline(w, opts);
+  EXPECT_EQ(a.cct_seconds, b.cct_seconds);
+  EXPECT_EQ(b.sim.fault_events, 0u);
+}
+
 TEST(RunPipeline, UnknownSchedulerThrows) {
   const auto w = small_workload();
   PipelineOptions opts;

@@ -4,6 +4,7 @@
 
 #include <fstream>
 
+#include "net/fabric.hpp"
 #include "net/io.hpp"
 
 namespace ccf {
@@ -93,6 +94,47 @@ TEST(FlowMatrixIo, RoundTrip) {
   net::flow_matrix_to_csv(m, path);
   const auto back = net::flow_matrix_from_csv(path, 3);
   EXPECT_EQ(back, m);
+}
+
+TEST(FaultScheduleIo, ParsesEveryKindWithHeader) {
+  const auto path = temp_path("faults1.csv");
+  write_file(path,
+             "time,kind,id,side,factor\n"
+             "1,degrade-link,3,,0.5\n"
+             "2,fail-port,1,ingress,\n"
+             "3,slow-node,0,,0.25\n"
+             "4,restore-port,1,ingress,\n"
+             "5,restore-link,3,,\n"
+             "6,restore-node,0,,\n"
+             "7,degrade-port,2,egress,0.75\n");
+  const auto s = net::fault_schedule_from_csv(path);
+  ASSERT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.events()[0].kind, net::FaultKind::kDegradeLink);
+  EXPECT_EQ(s.events()[0].link, 3u);
+  EXPECT_DOUBLE_EQ(s.events()[0].factor, 0.5);
+  EXPECT_EQ(s.events()[1].kind, net::FaultKind::kDegradePort);
+  EXPECT_EQ(s.events()[1].side, net::PortSide::kIngress);
+  EXPECT_DOUBLE_EQ(s.events()[1].factor, 0.0);
+  EXPECT_EQ(s.events()[6].side, net::PortSide::kEgress);
+  EXPECT_NO_THROW(s.validate(net::Fabric(4, 1.0)));
+}
+
+TEST(FaultScheduleIo, ShortRowsWithoutOptionalCellsParse) {
+  const auto path = temp_path("faults2.csv");
+  write_file(path, "2,fail-port,1\n5,restore-node,1\n");
+  const auto s = net::fault_schedule_from_csv(path);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.events()[0].side, net::PortSide::kBoth);
+}
+
+TEST(FaultScheduleIo, Errors) {
+  const auto path = temp_path("faults3.csv");
+  write_file(path, "1,frobnicate,0,,0.5\n");
+  EXPECT_THROW(net::fault_schedule_from_csv(path), std::invalid_argument);
+  write_file(path, "1,degrade-link,0\n");  // degrade without a factor
+  EXPECT_THROW(net::fault_schedule_from_csv(path), std::invalid_argument);
+  write_file(path, "1,fail-port,0,sideways,\n");
+  EXPECT_THROW(net::fault_schedule_from_csv(path), std::invalid_argument);
 }
 
 }  // namespace

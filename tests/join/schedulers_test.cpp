@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "testing/paper_example.hpp"
 
 namespace ccf::join {
@@ -100,6 +103,69 @@ TEST(CcfLsSchedulerTest, NeverWorseThanPlainCcf) {
   const double plain = opt::makespan(p, CcfScheduler().schedule(p));
   const double refined = opt::makespan(p, CcfLsScheduler().schedule(p));
   EXPECT_LE(refined, plain + 1e-12);
+}
+
+TEST(ReplaceFailedDestinations, KeepsHealthyPlacementsUntouched) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment before = CcfScheduler().schedule(p);
+  const std::uint32_t failed[] = {1};
+  const Assignment after = replace_failed_destinations(p, before, failed);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t k = 0; k < before.size(); ++k) {
+    if (before[k] != 1) {
+      EXPECT_EQ(after[k], before[k]) << "partition " << k;
+    } else {
+      EXPECT_NE(after[k], 1u) << "partition " << k;
+    }
+    EXPECT_LT(after[k], 3u);
+  }
+}
+
+TEST(ReplaceFailedDestinations, NoAffectedPartitionsIsANoOp) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  Assignment dest = CcfScheduler().schedule(p);
+  // Fail a node nothing is headed to (if any); otherwise fail none.
+  std::vector<std::uint32_t> unused;
+  for (std::uint32_t cand = 0; cand < 3; ++cand) {
+    if (std::find(dest.begin(), dest.end(), cand) == dest.end()) {
+      unused.push_back(cand);
+    }
+  }
+  const Assignment same = replace_failed_destinations(p, dest, unused);
+  EXPECT_EQ(same, dest);
+}
+
+TEST(ReplaceFailedDestinations, RepairedPlanStaysCompetitive) {
+  // After the repair the plan must be valid, avoid the failed node, and be
+  // no worse than the crude fallback of hashing the stranded partitions
+  // onto the first surviving node.
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment before = CcfScheduler().schedule(p);
+  const std::uint32_t failed[] = {0};
+  const Assignment repaired = replace_failed_destinations(p, before, failed);
+  Assignment crude = before;
+  for (std::uint32_t& d : crude) {
+    if (d == 0) d = 1;
+  }
+  EXPECT_LE(opt::makespan(p, repaired), opt::makespan(p, crude) + 1e-12);
+  for (const std::uint32_t d : repaired) EXPECT_NE(d, 0u);
+}
+
+TEST(ReplaceFailedDestinations, ValidatesItsArguments) {
+  const auto m = testing::paper_chunk_matrix();
+  const auto p = problem_for(m);
+  const Assignment dest = CcfScheduler().schedule(p);
+  const std::uint32_t out_of_range[] = {9};
+  EXPECT_THROW(replace_failed_destinations(p, dest, out_of_range),
+               std::invalid_argument);
+  const std::uint32_t everyone[] = {0, 1, 2};
+  EXPECT_THROW(replace_failed_destinations(p, dest, everyone),
+               std::invalid_argument);
+  EXPECT_THROW(replace_failed_destinations(p, Assignment{0, 1}, {}),
+               std::invalid_argument);
 }
 
 TEST(Schedulers, SingleNodeClusterKeepsEverythingLocal) {

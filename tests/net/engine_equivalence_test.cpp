@@ -6,6 +6,9 @@
 // everything per event through the legacy AoS allocator entry point; the
 // incremental engine keeps allocator state across events, so any staleness
 // bug in its caches shows up here as a divergence.
+// Every run goes through the invariant-checking decorator
+// (tests/testing/invariants.hpp), so capacity, conservation and min_dt-hint
+// violations fail here even when both engines agree with each other.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -13,6 +16,7 @@
 
 #include "net/rack.hpp"
 #include "net/simulator.hpp"
+#include "testing/invariants.hpp"
 #include "util/rng.hpp"
 
 namespace ccf::net {
@@ -63,14 +67,24 @@ std::vector<CoflowSpec> make_workload(std::size_t nodes, std::uint64_t seed) {
 
 SimReport run_engine(const std::vector<CoflowSpec>& specs, bool rack,
                      const std::string& allocator, SimEngine engine,
-                     std::size_t parallel_threshold) {
+                     std::size_t parallel_threshold, std::uint64_t fault_seed) {
   SimConfig config;
   config.engine = engine;
   config.parallel_advance_threshold = parallel_threshold;
   auto network = rack
                      ? std::shared_ptr<const Network>(new RackFabric(3, 2, 10.0))
                      : std::shared_ptr<const Network>(new Fabric(6, 10.0));
-  Simulator sim(std::move(network), make_allocator(allocator), config);
+  Simulator sim(std::move(network), testing::make_invariant_checked(allocator),
+                config);
+  if (fault_seed != 0) {
+    // Seed-derived random faults sized to land mid-run (volumes <= 200 B at
+    // 10 B/s ports put completions in the tens of seconds).
+    util::Pcg32 rng(util::derive_seed(fault_seed, 11), 11);
+    RandomFaultOptions opts;
+    opts.horizon = 8.0;
+    opts.outage = 3.0;
+    sim.set_faults(FaultSchedule::random(sim.network(), opts, rng));
+  }
   for (const auto& spec : specs) sim.add_coflow(spec);
   return sim.run();
 }
@@ -101,9 +115,9 @@ TEST_P(EngineEquivalence, ReferenceAndIncrementalAgree) {
   const auto& [seed, allocator, rack] = GetParam();
   const auto specs = make_workload(6, seed);
   const auto ref = run_engine(specs, rack, allocator, SimEngine::kReference,
-                              SimConfig{}.parallel_advance_threshold);
+                              SimConfig{}.parallel_advance_threshold, 0);
   const auto inc = run_engine(specs, rack, allocator, SimEngine::kIncremental,
-                              SimConfig{}.parallel_advance_threshold);
+                              SimConfig{}.parallel_advance_threshold, 0);
   expect_equivalent(ref, inc);
 }
 
@@ -112,10 +126,26 @@ TEST_P(EngineEquivalence, AgreeWithParallelAdvancePath) {
   // advance/compaction path in both engines.
   const auto& [seed, allocator, rack] = GetParam();
   const auto specs = make_workload(6, seed);
-  const auto ref = run_engine(specs, rack, allocator, SimEngine::kReference, 8);
+  const auto ref =
+      run_engine(specs, rack, allocator, SimEngine::kReference, 8, 0);
   const auto inc =
-      run_engine(specs, rack, allocator, SimEngine::kIncremental, 8);
+      run_engine(specs, rack, allocator, SimEngine::kIncremental, 8, 0);
   expect_equivalent(ref, inc);
+}
+
+TEST_P(EngineEquivalence, AgreeUnderRandomFaults) {
+  // Same workload under a seed-derived fault schedule (link degradations,
+  // hard one-sided port cuts, a straggler — all restored): the incremental
+  // engine's cached allocator state must survive mid-run capacity changes.
+  const auto& [seed, allocator, rack] = GetParam();
+  const auto specs = make_workload(6, seed);
+  const auto ref = run_engine(specs, rack, allocator, SimEngine::kReference,
+                              SimConfig{}.parallel_advance_threshold, seed);
+  const auto inc = run_engine(specs, rack, allocator, SimEngine::kIncremental,
+                              SimConfig{}.parallel_advance_threshold, seed);
+  expect_equivalent(ref, inc);
+  EXPECT_GT(inc.fault_events, 0u);
+  EXPECT_EQ(ref.fault_events, inc.fault_events);
 }
 
 INSTANTIATE_TEST_SUITE_P(

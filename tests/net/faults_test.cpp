@@ -1,0 +1,215 @@
+// FaultSchedule semantics + simulator fault handling (DESIGN.md §6): timed
+// degradations change completion times by exactly the analytic amount,
+// total outages pause (not starve) the run, port failures trigger the
+// re-placement hook, and every run passes the invariant checker.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "net/simulator.hpp"
+#include "testing/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+namespace {
+
+/// One-coflow helper on a unit-rate flat fabric.
+SimReport run_faulted(std::size_t nodes, const FlowMatrix& flows,
+                      const FaultSchedule& schedule, FaultOptions options = {},
+                      const std::string& allocator = "madd",
+                      double arrival = 0.0) {
+  SimConfig config;
+  config.record_trace = true;
+  Simulator sim(Fabric(nodes, 1.0), testing::make_invariant_checked(allocator),
+                config);
+  sim.set_faults(schedule, options);
+  sim.add_coflow(CoflowSpec("job", arrival, flows));
+  return sim.run();
+}
+
+TEST(FaultScheduleTest, BuildersKeepEventsTimeSortedAndStable) {
+  FaultSchedule s;
+  s.degrade_link(5.0, 0, 0.5);
+  s.degrade_link(1.0, 1, 0.2);
+  s.restore_link(5.0, 0);  // same time as the degrade: applies after it
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.events()[0].time, 1.0);
+  EXPECT_EQ(s.events()[1].kind, FaultKind::kDegradeLink);
+  EXPECT_EQ(s.events()[2].kind, FaultKind::kRestoreLink);
+  EXPECT_EQ(s.events()[1].time, s.events()[2].time);
+}
+
+TEST(FaultScheduleTest, ValidateRejectsOutOfRangeIds) {
+  const Fabric fabric(3, 1.0);
+  FaultSchedule bad_link;
+  bad_link.degrade_link(1.0, 99, 0.5);
+  EXPECT_THROW(bad_link.validate(fabric), std::invalid_argument);
+  FaultSchedule bad_node;
+  bad_node.fail_port(1.0, 7);
+  EXPECT_THROW(bad_node.validate(fabric), std::invalid_argument);
+  FaultSchedule ok;
+  ok.degrade_link(1.0, 5, 0.5).slow_node(2.0, 2, 0.5);
+  EXPECT_NO_THROW(ok.validate(fabric));
+}
+
+TEST(FaultScheduleTest, BuilderArgumentValidation) {
+  FaultSchedule s;
+  EXPECT_THROW(s.degrade_link(-1.0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(s.degrade_link(1.0, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW(s.degrade_link(1.0, 0, -0.1), std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, RandomIsSeedReproducibleAndRestoresEverything) {
+  const Fabric fabric(8, 1.0);
+  RandomFaultOptions opts;
+  util::Pcg32 a(42, 1), b(42, 1);
+  const FaultSchedule sa = FaultSchedule::random(fabric, opts, a);
+  const FaultSchedule sb = FaultSchedule::random(fabric, opts, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  EXPECT_EQ(sa.size(),
+            2 * (opts.link_degradations + opts.port_failures + opts.stragglers));
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.events()[i].time, sb.events()[i].time);
+    EXPECT_EQ(sa.events()[i].kind, sb.events()[i].kind);
+    EXPECT_EQ(sa.events()[i].link, sb.events()[i].link);
+    EXPECT_EQ(sa.events()[i].node, sb.events()[i].node);
+    EXPECT_EQ(sa.events()[i].factor, sb.events()[i].factor);
+  }
+  EXPECT_NO_THROW(sa.validate(fabric));
+}
+
+TEST(SimulatorFaultTest, MidRunDegradationStretchesCompletionExactly) {
+  // 10 B over a unit port finishes at t=10... until the egress link halves
+  // at t=5: 5 B remain at rate 0.5 -> 10 more seconds, CCT 15.
+  FlowMatrix flows(2);
+  flows.set(0, 1, 10.0);
+  FaultSchedule s;
+  s.degrade_link(5.0, /*egress of node 0=*/0, 0.5);
+  const SimReport r = run_faulted(2, flows, s);
+  EXPECT_NEAR(r.cct_of("job"), 15.0, 1e-9);
+  EXPECT_EQ(r.fault_events, 1u);
+  EXPECT_EQ(r.replacements, 0u);
+}
+
+TEST(SimulatorFaultTest, TotalOutagePausesInsteadOfStarving) {
+  // Hard failure of the only destination port: every flow sits at rate 0
+  // until the scheduled restore — the engine must treat that as waiting,
+  // not starvation. 10 B: 5 s before, 3 s dark, 5 s after -> CCT 13.
+  FlowMatrix flows(2);
+  flows.set(0, 1, 10.0);
+  FaultSchedule s;
+  s.fail_port(5.0, 1, PortSide::kIngress).restore_port(8.0, 1);
+  const SimReport r = run_faulted(2, flows, s);
+  EXPECT_NEAR(r.cct_of("job"), 13.0, 1e-9);
+  EXPECT_EQ(r.fault_events, 2u);
+}
+
+TEST(SimulatorFaultTest, StragglerSlowsBothSides) {
+  FlowMatrix flows(2);
+  flows.set(0, 1, 40.0);
+  FaultSchedule s;
+  s.slow_node(0.0, 0, 0.5);  // fault at t=0: applies before the first epoch
+  const SimReport r = run_faulted(2, flows, s, {}, "fair");
+  EXPECT_NEAR(r.cct_of("job"), 80.0, 1e-9);
+}
+
+TEST(SimulatorFaultTest, FaultsPastTheLastCompletionNeverApply) {
+  FlowMatrix flows(2);
+  flows.set(0, 1, 10.0);
+  FaultSchedule s;
+  s.fail_port(1e6, 1);
+  const SimReport r = run_faulted(2, flows, s);
+  EXPECT_NEAR(r.cct_of("job"), 10.0, 1e-9);
+  EXPECT_EQ(r.fault_events, 0u);
+}
+
+TEST(SimulatorFaultTest, ReplacementBeatsRidingOutAnIngressFailure) {
+  // Two 30 B flows into node 2. At t=10 its ingress port dies until t=100.
+  // Riding it out: stall 90 s, then drain 50 B at the shared port -> 150.
+  // Re-placement moves the 25 B remainders to nodes 1 and 0 -> Γ=25 -> 35.
+  FlowMatrix flows(3);
+  flows.set(0, 2, 30.0);
+  flows.set(1, 2, 30.0);
+  FaultSchedule s;
+  s.fail_port(10.0, 2, PortSide::kIngress).restore_port(100.0, 2);
+
+  const SimReport stay = run_faulted(3, flows, s);
+  EXPECT_NEAR(stay.cct_of("job"), 150.0, 1e-9);
+  EXPECT_EQ(stay.replacements, 0u);
+  EXPECT_EQ(stay.fault_events, 2u);
+
+  FaultOptions opts;
+  opts.replace_on_failure = true;
+  const SimReport moved = run_faulted(3, flows, s, opts);
+  EXPECT_NEAR(moved.cct_of("job"), 35.0, 1e-9);
+  EXPECT_EQ(moved.replacements, 2u);
+  EXPECT_LT(moved.cct_of("job"), stay.cct_of("job"));
+  // The restore at t=100 lands after the re-placed run already finished.
+  EXPECT_EQ(moved.fault_events, 1u);
+}
+
+TEST(SimulatorFaultTest, ReplacementCoversNotYetArrivedFlows) {
+  // The destination dies before the coflow arrives; with re-placement its
+  // flow is re-routed at fault time and never touches the dead port.
+  FlowMatrix flows(3);
+  flows.set(0, 2, 20.0);
+  FaultSchedule s;
+  s.fail_port(5.0, 2, PortSide::kIngress).restore_port(1000.0, 2);
+  FaultOptions opts;
+  opts.replace_on_failure = true;
+  const SimReport r = run_faulted(3, flows, s, opts, "madd", /*arrival=*/10.0);
+  EXPECT_NEAR(r.cct_of("job"), 20.0, 1e-9);
+  EXPECT_EQ(r.replacements, 1u);
+}
+
+TEST(SimulatorFaultTest, NoSurvivingDestinationRidesOutTheFault) {
+  // Two nodes: the only alternative destination for flow 0->1 is its own
+  // source, which re-placement must never pick — the flow waits for the
+  // restore instead.
+  FlowMatrix flows(2);
+  flows.set(0, 1, 10.0);
+  FaultSchedule s;
+  s.fail_port(5.0, 1, PortSide::kIngress).restore_port(8.0, 1);
+  FaultOptions opts;
+  opts.replace_on_failure = true;
+  const SimReport r = run_faulted(2, flows, s, opts);
+  EXPECT_NEAR(r.cct_of("job"), 13.0, 1e-9);
+  EXPECT_EQ(r.replacements, 0u);
+}
+
+TEST(SimulatorFaultTest, SetFaultsValidates) {
+  Simulator sim(Fabric(3, 1.0), make_allocator("madd"));
+  FaultSchedule bad;
+  bad.degrade_link(1.0, 99, 0.5);
+  EXPECT_THROW(sim.set_faults(bad), std::invalid_argument);
+  FaultOptions opts;
+  opts.replace_threshold = 2.0;
+  EXPECT_THROW(sim.set_faults(FaultSchedule{}, opts), std::invalid_argument);
+}
+
+TEST(SimulatorFaultTest, DegradeToZeroInvalidatesCachedKeys) {
+  // Two staggered coflows under varys (cached Γ keys): the second port's
+  // capacity drops to zero mid-run and comes back. If the allocator kept its
+  // pre-fault keys/rates the run would either starve or finish too early;
+  // the exact CCTs pin the refresh behavior.
+  FlowMatrix a(3), b(3);
+  a.set(0, 1, 10.0);
+  b.set(2, 0, 10.0);  // port-disjoint from a: egress 2, ingress 0
+  FaultSchedule s;
+  s.fail_port(2.0, 1, PortSide::kIngress).restore_port(6.0, 1);
+  SimConfig config;
+  Simulator sim(Fabric(3, 1.0), testing::make_invariant_checked("varys"),
+                config);
+  sim.set_faults(s);
+  sim.add_coflow(CoflowSpec("a", 0.0, a));
+  sim.add_coflow(CoflowSpec("b", 0.0, b));
+  const SimReport r = sim.run();
+  // Coflow a: 2 s at rate 1, dark 2..6, finishes its last 8 B by t=14.
+  EXPECT_NEAR(r.cct_of("a"), 14.0, 1e-9);
+  // Coflow b is untouched by the fault (disjoint ports): CCT 10.
+  EXPECT_NEAR(r.cct_of("b"), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ccf::net

@@ -1,0 +1,135 @@
+// Invariant-checking allocator decorator (ISSUE 4). Wraps any RateAllocator
+// and, after every allocate() call, asserts the physical invariants no
+// policy may violate — on pristine *and* fault-degraded capacities:
+//
+//  1. Every rate is finite and >= 0; every active remaining volume is
+//     finite and > 0 (the engine compacts completed flows out before the
+//     next allocate).
+//  2. Per-link: the sum of rates across a link never exceeds its *current*
+//     capacity (the paper's constraint (1.5), read through ctx.capacities()
+//     so degraded values are enforced, not the pristine ones).
+//  3. Per-coflow conservation / monotonicity: bytes_sent never decreases,
+//     and bytes_sent + Σ active remaining never exceeds bytes_total — the
+//     robust form of "remaining bytes are monotone non-increasing" (the
+//     engine only ever moves bytes from remaining into bytes_sent).
+//  4. The min_dt completion hint, when set, equals the engine's full
+//     O(#flows) scan bit-for-bit (the incremental engine consumes the hint
+//     instead of scanning, so an inexact hint would silently change event
+//     times).
+//
+// The decorator is engine-agnostic: under the reference engine the
+// inherited AoS bridge routes through the SoA overload below with a
+// throwaway context, so both modes get checked by construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/allocator.hpp"
+
+namespace ccf::testing {
+
+class InvariantCheckedAllocator final : public net::RateAllocator {
+ public:
+  explicit InvariantCheckedAllocator(std::unique_ptr<net::RateAllocator> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  void allocate(net::AllocatorContext& ctx, const net::ActiveFlows& flows,
+                std::span<net::CoflowState> coflows, double now) override {
+    inner_->allocate(ctx, flows, coflows, now);
+    ++epochs_;
+    check_epoch(ctx, flows, coflows, now);
+  }
+
+  /// Allocation epochs checked so far (tests assert the checker actually ran).
+  std::size_t epochs() const noexcept { return epochs_; }
+
+ private:
+  void check_epoch(net::AllocatorContext& ctx, const net::ActiveFlows& flows,
+                   std::span<const net::CoflowState> coflows, double now) {
+    // 1. Per-flow sanity + per-link load accumulation in one pass.
+    if (link_load_.size() < ctx.link_count()) {
+      link_load_.assign(ctx.link_count(), 0.0);
+    }
+    double scan_min_dt = net::AllocatorContext::kInfDt;
+    for (std::size_t i = 0; i < flows.count; ++i) {
+      const double r = flows.rate[i];
+      const double rem = flows.remaining[i];
+      EXPECT_TRUE(std::isfinite(r) && r >= 0.0)
+          << name() << ": flow " << i << " rate " << r << " at t=" << now;
+      EXPECT_TRUE(std::isfinite(rem) && rem > 0.0)
+          << name() << ": flow " << i << " residual " << rem << " at t=" << now;
+      if (r > 0.0) scan_min_dt = std::min(scan_min_dt, rem / r);
+      for (const auto l : flows.links(i)) link_load_[l] += r;
+    }
+
+    // 2. Per-link capacity (current, possibly fault-degraded). Tolerance
+    //    scales with the capacity: allocators fill links exactly, so the sum
+    //    sits within rounding of the capacity itself.
+    const std::span<const double> caps = ctx.capacities();
+    for (std::size_t l = 0; l < caps.size(); ++l) {
+      const double cap = caps[l];
+      EXPECT_LE(link_load_[l], cap + 1e-9 * (1.0 + cap))
+          << name() << ": link " << l << " oversubscribed at t=" << now;
+      link_load_[l] = 0.0;  // restore the all-zero invariant
+    }
+
+    // 3. Conservation and monotone progress per coflow.
+    if (last_sent_.size() < coflows.size()) {
+      last_sent_.resize(coflows.size(), 0.0);
+      active_rem_.resize(coflows.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < flows.count; ++i) {
+      active_rem_[flows.coflow[i]] += flows.remaining[i];
+    }
+    for (std::size_t c = 0; c < coflows.size(); ++c) {
+      const net::CoflowState& st = coflows[c];
+      EXPECT_TRUE(std::isfinite(st.bytes_sent) && st.bytes_sent >= 0.0)
+          << name() << ": coflow " << c << " bytes_sent " << st.bytes_sent;
+      EXPECT_GE(st.bytes_sent, last_sent_[c] - 1e-9 * (1.0 + last_sent_[c]))
+          << name() << ": coflow " << c << " lost bytes at t=" << now;
+      last_sent_[c] = st.bytes_sent;
+      EXPECT_LE(st.bytes_sent + active_rem_[c],
+                st.bytes_total + 1e-6 + 1e-9 * st.bytes_total)
+          << name() << ": coflow " << c << " overshot its volume at t=" << now;
+      active_rem_[c] = 0.0;  // restore the all-zero invariant
+    }
+
+    // 4. Completion-hint exactness (see the protocol note in allocator.hpp:
+    //    hints must be computed per-flow, hence bit-identical to this scan).
+    if (ctx.min_dt_valid()) {
+      EXPECT_EQ(ctx.min_dt(), scan_min_dt)
+          << name() << ": min_dt hint diverges from a full scan at t=" << now;
+      EXPECT_TRUE(ctx.min_dt() > 0.0 || flows.count == 0)
+          << name() << ": non-positive min_dt at t=" << now;
+    }
+  }
+
+  std::unique_ptr<net::RateAllocator> inner_;
+  std::size_t epochs_ = 0;
+  std::vector<double> link_load_;   ///< all-zero between checks
+  std::vector<double> last_sent_;   ///< per-coflow bytes_sent watermark
+  std::vector<double> active_rem_;  ///< all-zero between checks
+};
+
+inline std::unique_ptr<net::RateAllocator> make_invariant_checked(
+    std::unique_ptr<net::RateAllocator> inner) {
+  return std::make_unique<InvariantCheckedAllocator>(std::move(inner));
+}
+
+/// Convenience: wrap the named stock allocator.
+inline std::unique_ptr<net::RateAllocator> make_invariant_checked(
+    const std::string& allocator) {
+  return make_invariant_checked(net::make_allocator(allocator));
+}
+
+}  // namespace ccf::testing
