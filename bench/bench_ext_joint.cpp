@@ -7,6 +7,7 @@
 
 #include "core/ccf.hpp"
 #include "core/concurrent.hpp"
+#include "core/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -21,11 +22,15 @@ int main(int argc, char** argv) {
                 "placement matters when operators are coarse-grained (<1)");
   args.add_flag("zipf", "0.8", "Zipf factor");
   args.add_flag("skew", "0.2", "skew fraction");
+  args.add_flag("allocator", "madd",
+                ccf::core::registry::allocator_name_list());
   args.parse(argc, argv);
 
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  const std::string allocator = args.get("allocator");
   std::cout << "Joint co-optimization: k concurrent join shuffles on "
-            << nodes << " nodes (CCF placement, MADD network)\n\n";
+            << nodes << " nodes (CCF placement, " << allocator
+            << " network)\n\n";
 
   auto sweep_with = [&](bool identical_ops, std::size_t partitions) {
     ccf::util::Table t({"operators", "union Γ indep.", "union Γ joint",
@@ -48,7 +53,7 @@ int main(int argc, char** argv) {
         ops.push_back(std::move(op));
       }
       ccf::core::JobOptions options;
-      options.allocator = ccf::net::AllocatorKind::kMadd;
+      options.allocator = ccf::core::registry::allocator_kind(allocator);
       const auto r = ccf::core::run_concurrent_operators(ops, options);
       t.add_row({std::to_string(count),
                  ccf::util::format_seconds(r.union_gamma_independent),

@@ -1,60 +1,251 @@
-// Extension bench (§VI future work): a multi-join analytical job produces a
-// sequence of coflows arriving over time; placement is CCF throughout while
-// the inter-coflow scheduler varies (FIFO+MADD / Varys / Aalo / fair).
-// Reports per-operator CCTs, average CCT and job makespan.
+// Extension bench (§VI future work), now driven through the multi-query
+// Engine: a multi-join analytical job produces a stream of queries arriving
+// over time; placement is CCF throughout while the session's inter-coflow
+// scheduler varies (FIFO+MADD / Varys / Aalo / fair). One Engine session per
+// allocator, one drained epoch per table row.
+//
+// --throughput switches to the engine-throughput harness: 32 queries on
+// 16 nodes submitted with staggered arrivals into one session, the
+// submit-to-drain wall time measured best-of-reps and reported as
+// queries/sec. --out updates the "engine_throughput" entry inside
+// BENCH_sim.json's results array; --smoke re-measures and fails when the
+// epoch takes >2x the checked-in baseline past a 25 ms noise floor (wired up
+// as the `perf_smoke_engine` ctest).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/ccf.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
+namespace {
+
+// Star-schema shape: the first query is the big fact join, the rest shrink.
+std::vector<std::shared_ptr<const ccf::data::Workload>> make_workloads(
+    std::size_t nodes, std::size_t count, std::uint64_t seed) {
+  std::vector<std::shared_ptr<const ccf::data::Workload>> workloads;
+  workloads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ccf::data::WorkloadSpec spec = ccf::data::WorkloadSpec::paper_default(nodes);
+    const double shrink = i == 0 ? 1.0 : 0.25 / static_cast<double>(i);
+    spec.customer_bytes *= 0.1 * shrink;
+    spec.orders_bytes *= 0.1 * shrink;
+    spec.seed = seed + i;
+    workloads.push_back(std::make_shared<const ccf::data::Workload>(
+        ccf::data::generate_workload(spec)));
+  }
+  return workloads;
+}
+
+ccf::core::EngineReport run_session(
+    const std::vector<std::shared_ptr<const ccf::data::Workload>>& workloads,
+    const std::string& allocator, const std::string& scheduler, double stagger,
+    std::size_t nodes) {
+  ccf::core::EngineOptions opts;
+  opts.nodes = nodes;
+  opts.allocator = allocator;
+  ccf::core::Engine engine(opts);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    ccf::core::QuerySpec query;
+    query.name = "op" + std::to_string(i);
+    query.arrival = stagger * static_cast<double>(i);
+    query.workload = workloads[i];
+    query.scheduler = scheduler;
+    engine.submit(std::move(query));
+  }
+  return engine.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Engine-throughput harness (the BENCH_sim.json "engine_throughput" entry).
+
+constexpr std::size_t kThroughputQueries = 32;
+constexpr std::size_t kThroughputNodes = 16;
+constexpr double kThroughputStagger = 0.5;
+
+struct ThroughputResult {
+  double epoch_ms = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+ThroughputResult measure_throughput(const std::string& scheduler,
+                                    std::uint64_t seed, int reps) {
+  const auto workloads =
+      make_workloads(kThroughputNodes, kThroughputQueries, seed);
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto epoch = run_session(workloads, "madd", scheduler,
+                                   kThroughputStagger, kThroughputNodes);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (epoch.queries.size() != kThroughputQueries || epoch.makespan <= 0.0) {
+      std::cerr << "engine-throughput: malformed epoch report\n";
+      std::exit(1);
+    }
+    best = std::min(best, elapsed.count());
+  }
+  return {best * 1e3, static_cast<double>(kThroughputQueries) / best};
+}
+
+std::string throughput_json(const ThroughputResult& r,
+                            const std::string& scheduler) {
+  std::ostringstream line;
+  line << "{\"bench\": \"engine_throughput\", \"queries\": "
+       << kThroughputQueries << ", \"nodes\": " << kThroughputNodes
+       << ", \"scheduler\": \"" << scheduler << "\", \"epoch_ms\": "
+       << r.epoch_ms << ", \"queries_per_sec\": " << r.queries_per_sec << "}";
+  return line.str();
+}
+
+double json_number(const std::string& line, const std::string& key) {
+  const auto p = line.find("\"" + key + "\"");
+  if (p == std::string::npos) return std::nan("");
+  try {
+    return std::stod(line.substr(line.find(':', p) + 1));
+  } catch (...) {
+    return std::nan("");
+  }
+}
+
+/// Baseline epoch_ms from the engine_throughput line (NaN when absent).
+double load_baseline_ms(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"engine_throughput\"") == std::string::npos) continue;
+    return json_number(line, "epoch_ms");
+  }
+  return std::nan("");
+}
+
+/// Insert/replace the engine_throughput entry inside the baseline's results
+/// array (bench_sim_scale's line-oriented loader ignores it: no "allocator").
+int update_baseline(const std::string& path, const std::string& entry) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "engine-throughput: cannot read " << path << "\n";
+    return 1;
+  }
+  std::vector<std::string> lines;
+  bool inserted = false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"engine_throughput\"") != std::string::npos) continue;
+    lines.push_back(line);
+    if (!inserted && line.find("\"results\"") != std::string::npos) {
+      lines.push_back("    " + entry + ",");
+      inserted = true;
+    }
+  }
+  in.close();
+  if (!inserted) {
+    std::cerr << "engine-throughput: no results array in " << path << "\n";
+    return 1;
+  }
+  std::ofstream out(path);
+  for (const auto& line : lines) out << line << "\n";
+  std::cout << "updated engine_throughput entry in " << path << "\n";
+  return 0;
+}
+
+int run_throughput(const ccf::util::ArgParser& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
+  const std::string scheduler = args.get("scheduler");
+  const ThroughputResult r = measure_throughput(scheduler, seed, reps);
+
+  ccf::util::Table t({"queries", "nodes", "epoch ms", "queries/sec"});
+  std::ostringstream mss, qps;
+  mss.precision(2);
+  mss << std::fixed << r.epoch_ms;
+  qps.precision(1);
+  qps << std::fixed << r.queries_per_sec;
+  t.add_row({std::to_string(kThroughputQueries),
+             std::to_string(kThroughputNodes), mss.str(), qps.str()});
+  t.print(std::cout);
+
+  if (args.provided("smoke")) {
+    const double base = load_baseline_ms(args.get("baseline"));
+    if (!std::isfinite(base)) {
+      std::cerr << "engine-throughput smoke: no engine_throughput baseline in "
+                << args.get("baseline") << "\n";
+      return 1;
+    }
+    if (r.epoch_ms > 2.0 * base && r.epoch_ms - base > 25.0) {
+      std::cerr << "engine-throughput smoke FAILED: " << r.epoch_ms
+                << " ms vs baseline " << base << " ms (>2x past the 25 ms "
+                << "noise floor)\n";
+      return 1;
+    }
+    std::cout << "engine-throughput smoke passed (baseline " << base
+              << " ms)\n";
+    return 0;
+  }
+  if (!args.get("out").empty()) {
+    return update_baseline(args.get("out"), throughput_json(r, scheduler));
+  }
+  std::cout << "\n" << throughput_json(r, scheduler) << "\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ccf::util::ArgParser args("bench_online_coflows",
-                            "Online coflows from a 4-operator analytical job");
+                            "Online coflows through one Engine session");
   args.add_flag("nodes", "100", "number of nodes");
-  args.add_flag("operators", "4", "operators in the job");
-  args.add_flag("stagger", "20", "seconds between operator arrivals");
-  args.add_flag("scheduler", "ccf", "placement scheduler for every operator");
+  args.add_flag("operators", "4", "queries in the session");
+  args.add_flag("stagger", "20", "seconds between query arrivals");
+  args.add_flag("scheduler", "ccf", "placement scheduler for every query");
+  args.add_flag("seed", "300", "workload rng seed");
+  args.add_flag("reps", "3", "timing repetitions (throughput mode, min taken)");
+  args.add_flag("throughput", "false",
+                "measure engine queries/sec at 32 queries x 16 nodes");
+  args.add_flag("smoke", "false",
+                "with --throughput: regression check against --baseline");
+  args.add_flag("baseline", "BENCH_sim.json",
+                "baseline JSON for --smoke comparisons");
+  args.add_flag("out", "", "with --throughput: update this baseline JSON");
   args.parse(argc, argv);
+
+  if (args.provided("throughput") || args.provided("smoke")) {
+    return run_throughput(args);
+  }
 
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes"));
   const auto ops_n = static_cast<std::size_t>(args.get_int("operators"));
   const double stagger = args.get_double("stagger");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-  std::vector<ccf::core::OperatorSpec> ops;
-  for (std::size_t i = 0; i < ops_n; ++i) {
-    ccf::data::WorkloadSpec spec = ccf::data::WorkloadSpec::paper_default(nodes);
-    // Star-schema shape: first operator is the big fact join.
-    const double shrink = i == 0 ? 1.0 : 0.25 / static_cast<double>(i);
-    spec.customer_bytes *= 0.1 * shrink;
-    spec.orders_bytes *= 0.1 * shrink;
-    spec.seed = 300 + i;
-    ops.push_back(ccf::core::OperatorSpec{
-        "op" + std::to_string(i), stagger * static_cast<double>(i), spec});
-  }
+  // One workload set, shared (by pointer) across the four sessions.
+  const auto workloads = make_workloads(nodes, ops_n, seed);
 
-  std::cout << "Online-coflow bench: " << ops_n << " operators on " << nodes
+  std::cout << "Online-coflow bench: " << ops_n << " queries on " << nodes
             << " nodes, placement = " << args.get("scheduler") << "\n\n";
 
   ccf::util::Table t({"inter-coflow scheduler", "avg CCT", "max CCT",
                       "job makespan"});
-  for (const auto& [kind, label] :
-       {std::pair{ccf::net::AllocatorKind::kMadd, "FIFO+MADD"},
-        std::pair{ccf::net::AllocatorKind::kVarys, "Varys (SEBF)"},
-        std::pair{ccf::net::AllocatorKind::kAalo, "Aalo (D-CLAS)"},
-        std::pair{ccf::net::AllocatorKind::kFairSharing, "fair sharing"}}) {
-    ccf::core::JobOptions opts;
-    opts.scheduler = args.get("scheduler");
-    opts.allocator = kind;
-    const auto report = ccf::core::run_job(ops, opts);
+  for (const auto& [name, label] :
+       {std::pair{"madd", "FIFO+MADD"}, std::pair{"varys", "Varys (SEBF)"},
+        std::pair{"aalo", "Aalo (D-CLAS)"}, std::pair{"fair", "fair sharing"}}) {
+    const auto epoch = run_session(workloads, name, args.get("scheduler"),
+                                   stagger, nodes);
     double max_cct = 0.0;
-    for (const auto& c : report.sim.coflows) {
+    for (const auto& c : epoch.sim.coflows) {
       max_cct = std::max(max_cct, c.cct());
     }
-    t.add_row({label, ccf::util::format_seconds(report.sim.average_cct()),
+    t.add_row({label, ccf::util::format_seconds(epoch.sim.average_cct()),
                ccf::util::format_seconds(max_cct),
-               ccf::util::format_seconds(report.sim.makespan)});
+               ccf::util::format_seconds(epoch.makespan)});
   }
   t.print(std::cout);
 

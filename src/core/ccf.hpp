@@ -9,10 +9,13 @@
 //   std::cout << report.cct_seconds << "\n";
 #pragma once
 
+#include "core/engine.hpp"         // IWYU pragma: export
 #include "core/job.hpp"            // IWYU pragma: export
 #include "core/pipeline.hpp"       // IWYU pragma: export
 #include "core/query.hpp"          // IWYU pragma: export
+#include "core/registry.hpp"       // IWYU pragma: export
 #include "core/skew_handling.hpp"  // IWYU pragma: export
+#include "core/stages.hpp"         // IWYU pragma: export
 #include "data/chunk_matrix.hpp"   // IWYU pragma: export
 #include "data/partitioner.hpp"    // IWYU pragma: export
 #include "data/relation.hpp"       // IWYU pragma: export

@@ -1,11 +1,15 @@
 #include "core/concurrent.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "core/skew_handling.hpp"
-#include "net/metrics.hpp"
+#include "core/engine.hpp"
+#include "core/registry.hpp"
+#include "core/stages.hpp"
 #include "join/flows.hpp"
-#include "join/schedulers.hpp"
+#include "net/metrics.hpp"
 
 namespace ccf::core {
 
@@ -22,24 +26,18 @@ ConcurrentReport run_concurrent_operators(
     }
   }
 
-  // Prepare every operator once (skew pre-pass shared by both plans).
-  std::vector<PreparedInput> prepared;
-  prepared.reserve(operators.size());
+  // Stage graph per operator: skew pre-pass once (shared by both plans),
+  // then Plan A's isolated placement, with one shared scheduler instance.
+  const auto scheduler = registry::make_scheduler(options.scheduler);
+  std::vector<RunContext> contexts(operators.size());
   std::size_t total_partitions = 0;
-  for (const OperatorSpec& op : operators) {
-    const data::Workload workload = data::generate_workload(op.workload);
-    prepared.push_back(
-        apply_partial_duplication(workload, options.skew_handling));
-    total_partitions += prepared.back().residual.partitions();
-  }
-
-  const auto scheduler = join::make_scheduler(options.scheduler);
-
-  // Plan A: each operator placed in isolation.
-  std::vector<opt::Assignment> independent_dest;
-  for (const PreparedInput& in : prepared) {
-    const opt::AssignmentProblem problem = in.problem();
-    independent_dest.push_back(scheduler->schedule(problem));
+  for (std::size_t o = 0; o < operators.size(); ++o) {
+    contexts[o].workload = std::make_shared<const data::Workload>(
+        data::generate_workload(operators[o].workload));
+    contexts[o].skew_handling = options.skew_handling;
+    stage_prepare(contexts[o]);
+    stage_place(contexts[o], *scheduler);
+    total_partitions += contexts[o].prepared->residual.partitions();
   }
 
   // Plan B: one stacked instance — the union of all partitions, with the
@@ -50,7 +48,8 @@ ConcurrentReport run_concurrent_operators(
   joint_problem.initial_ingress.assign(n, 0.0);
   {
     std::size_t row = 0;
-    for (const PreparedInput& in : prepared) {
+    for (const RunContext& ctx : contexts) {
+      const PreparedInput& in = *ctx.prepared;
       for (std::size_t k = 0; k < in.residual.partitions(); ++k, ++row) {
         for (std::size_t i = 0; i < n; ++i) {
           stacked.set(row, i, in.residual.h(k, i));
@@ -65,17 +64,21 @@ ConcurrentReport run_concurrent_operators(
   joint_problem.matrix = &stacked;
   const opt::Assignment joint_dest = scheduler->schedule(joint_problem);
 
-  // Simulate both configurations with every coflow present from t = 0, and
-  // accumulate the union flow matrix for the model-level Γ comparison.
+  // Simulate both configurations as Engine epochs with every coflow present
+  // from t = 0, and accumulate the union flow matrix for the model-level Γ.
   ConcurrentReport report;
   const net::Fabric fabric(n, options.port_rate);
+  EngineOptions eopts;
+  eopts.nodes = n;
+  eopts.port_rate = options.port_rate;
+  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  Engine engine(std::move(eopts));
+
   auto run_config = [&](bool joint, double* union_gamma) {
-    net::Simulator sim(std::make_shared<const net::Fabric>(fabric),
-                       net::make_allocator(options.allocator));
     net::FlowMatrix union_flows(n);
     std::size_t row = 0;
     for (std::size_t o = 0; o < operators.size(); ++o) {
-      const PreparedInput& in = prepared[o];
+      const PreparedInput& in = *contexts[o].prepared;
       net::FlowMatrix flows(n);
       if (joint) {
         const std::size_t p = in.residual.partitions();
@@ -83,7 +86,7 @@ ConcurrentReport run_concurrent_operators(
         flows = join::assignment_flows(in.residual, slice, in.initial_flows);
         row += p;
       } else {
-        flows = join::assignment_flows(in.residual, independent_dest[o],
+        flows = join::assignment_flows(in.residual, contexts[o].destinations,
                                        in.initial_flows);
       }
       for (std::size_t i = 0; i < n; ++i) {
@@ -91,10 +94,10 @@ ConcurrentReport run_concurrent_operators(
           union_flows.add(i, j, flows.volume(i, j));
         }
       }
-      sim.add_coflow(net::CoflowSpec(operators[o].name, 0.0, std::move(flows)));
+      engine.submit(operators[o].name, 0.0, std::move(flows));
     }
     *union_gamma = net::gamma_bound(union_flows, fabric);
-    return sim.run();
+    return std::move(engine.drain().sim);
   };
 
   report.independent = run_config(false, &report.union_gamma_independent);

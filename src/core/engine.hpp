@@ -1,0 +1,145 @@
+// core::Engine — the multi-query execution engine (session architecture).
+//
+// The one-shot pipeline (run_pipeline) builds a fresh fabric, scheduler and
+// simulator per join. The Engine inverts that: it owns ONE fabric for a whole
+// session and accepts queries submitted over (simulated) time, so N
+// concurrent joins become N coflows contending in a single online simulation
+// instead of N isolated runs — the shape the coflow-stream literature (Shi et
+// al.; Qiu/Stein/Zhong) evaluates schedulers on.
+//
+// Lifecycle:
+//
+//   Engine engine({.nodes = 100, .allocator = "varys"});
+//   engine.submit(QuerySpec("q0", workload0));            // arrival 0
+//   engine.submit(QuerySpec("q1", workload1, "ccf", 5.0)); // arrives at 5 s
+//   EngineReport epoch = engine.drain();   // place (parallel) + simulate
+//
+// submit() resolves the query's placement policy through the registry once,
+// at submission, and validates the workload against the session fabric.
+// drain() runs the stage graph (skew pre-pass -> placement -> flow
+// generation) for every pending query concurrently on util::parallel — the
+// contexts are independent, results land in submission order, and every
+// registered scheduler is deterministic, so a drain is reproducible
+// bit-for-bit regardless of thread count — then registers all coflows in one
+// simulator and runs the epoch to completion. A session may interleave
+// submit() and drain() freely; each drain opens a new simulation epoch at
+// t = 0 (arrivals are relative to the epoch).
+//
+// Determinism guarantee (pinned by tests/core/engine_test.cpp): an Engine fed
+// queries serially — each submitted after the previous drain completes —
+// reproduces run_pipeline's RunReports exactly, because a one-query epoch
+// executes the identical stage code on an identical single-coflow simulation.
+// run_pipeline itself is a one-query Engine session.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+#include "data/workload.hpp"
+#include "net/fabric.hpp"
+#include "net/faults.hpp"
+#include "net/flow.hpp"
+#include "net/simulator.hpp"
+
+namespace ccf::core {
+
+using QueryId = std::size_t;
+
+/// Session-level configuration: one fabric + one inter-coflow policy.
+struct EngineOptions {
+  std::size_t nodes = 0;  ///< fabric width (required, > 0)
+  double port_rate = net::Fabric::kDefaultPortRate;
+  /// Inter-coflow scheduler (registry name: "fair" | "madd" | "varys" | ...).
+  std::string allocator = "madd";
+  /// If false, drains skip the event simulation; per-query CCT reports the
+  /// analytic Γ (exact for MADD on an idle fabric).
+  bool simulate = true;
+  /// Fault schedule injected into every drained epoch (empty = none).
+  net::FaultSchedule faults;
+  net::FaultOptions fault_options;
+  /// Worker threads for the placement fan-out (0 = hardware concurrency).
+  std::size_t placement_threads = 0;
+  /// Event-engine knobs for the shared simulation.
+  net::SimConfig sim;
+};
+
+/// One query submission: a workload plus its per-query policy choices.
+struct QuerySpec {
+  std::string name = "query";
+  double arrival = 0.0;  ///< seconds after the epoch opens
+  std::shared_ptr<const data::Workload> workload;
+  std::string scheduler = "ccf";  ///< placement policy (registry name)
+  bool skew_handling = true;
+
+  QuerySpec() = default;
+  QuerySpec(std::string query_name, data::Workload w,
+            std::string scheduler_name = "ccf", double arrival_time = 0.0)
+      : name(std::move(query_name)),
+        arrival(arrival_time),
+        workload(std::make_shared<const data::Workload>(std::move(w))),
+        scheduler(std::move(scheduler_name)) {}
+};
+
+/// Outcome of one drained epoch. queries[] is in submission order and each
+/// entry's RunReport.sim is left empty — the shared simulation of the whole
+/// epoch is `sim` (a single-query epoch's queries[0] plus `sim` is exactly a
+/// run_pipeline RunReport).
+struct EngineReport {
+  std::vector<RunReport> queries;
+  net::SimReport sim;
+  double makespan = 0.0;             ///< epoch completion (0 when !simulate)
+  double total_traffic_bytes = 0.0;
+  double schedule_seconds = 0.0;     ///< summed placement time of the epoch
+};
+
+/// Cumulative session counters across drains.
+struct EngineStats {
+  std::size_t epochs = 0;
+  std::size_t queries = 0;
+  double total_traffic_bytes = 0.0;
+  double schedule_seconds = 0.0;
+  std::size_t sim_events = 0;
+};
+
+class Engine {
+ public:
+  /// Validates the options (nodes > 0, known allocator; throws
+  /// std::invalid_argument otherwise) and builds the session fabric.
+  explicit Engine(EngineOptions options);
+
+  /// Enqueue a query for the next drain. Resolves its placement policy
+  /// through the registry and checks the workload spans the session fabric;
+  /// throws std::invalid_argument on unknown policy / size mismatch /
+  /// missing workload / negative arrival.
+  QueryId submit(QuerySpec spec);
+
+  /// Enqueue a pre-built coflow (flows already generated — e.g. run_query's
+  /// fixed-point iterations re-submitting placed stages). Skips the prepare /
+  /// place stages; the flow matrix must span the session fabric.
+  QueryId submit(std::string name, double arrival, net::FlowMatrix flows);
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Place every pending query (concurrently), register their coflows in one
+  /// shared simulation, run the epoch, and return its report. Draining with
+  /// nothing pending returns an empty report. May be called repeatedly.
+  EngineReport drain();
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  const net::Fabric& fabric() const noexcept { return fabric_; }
+  const EngineOptions& options() const noexcept { return options_; }
+
+ private:
+  EngineOptions options_;
+  net::Fabric fabric_;
+  std::vector<RunContext> pending_;
+  EngineStats stats_;
+  QueryId next_id_ = 0;
+};
+
+}  // namespace ccf::core

@@ -1,11 +1,11 @@
 #include "core/job.hpp"
 
-#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "core/skew_handling.hpp"
-#include "join/flows.hpp"
-#include "join/schedulers.hpp"
+#include "core/engine.hpp"
+#include "core/registry.hpp"
 
 namespace ccf::core {
 
@@ -21,30 +21,25 @@ JobReport run_job(const std::vector<OperatorSpec>& operators,
     }
   }
 
-  using Clock = std::chrono::steady_clock;
-  JobReport report;
-  net::Simulator sim(net::Fabric(n, options.port_rate),
-                     net::make_allocator(options.allocator));
-
-  const auto scheduler = join::make_scheduler(options.scheduler);
+  // One Engine session: every operator is a query; their coflows contend in
+  // the shared epoch simulation under the job's inter-coflow scheduler.
+  EngineOptions eopts;
+  eopts.nodes = n;
+  eopts.port_rate = options.port_rate;
+  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  Engine engine(std::move(eopts));
   for (const OperatorSpec& op : operators) {
-    const data::Workload workload = data::generate_workload(op.workload);
-    const PreparedInput prepared =
-        apply_partial_duplication(workload, options.skew_handling);
-    const opt::AssignmentProblem problem = prepared.problem();
-
-    const auto t0 = Clock::now();
-    const opt::Assignment dest = scheduler->schedule(problem);
-    const auto t1 = Clock::now();
-    report.schedule_seconds += std::chrono::duration<double>(t1 - t0).count();
-
-    net::FlowMatrix flows =
-        join::assignment_flows(prepared.residual, dest, prepared.initial_flows);
-    report.total_traffic_bytes += flows.traffic();
-    sim.add_coflow(net::CoflowSpec(op.name, op.arrival, std::move(flows)));
+    QuerySpec query(op.name, data::generate_workload(op.workload),
+                    options.scheduler, op.arrival);
+    query.skew_handling = options.skew_handling;
+    engine.submit(std::move(query));
   }
+  EngineReport epoch = engine.drain();
 
-  report.sim = sim.run();
+  JobReport report;
+  report.sim = std::move(epoch.sim);
+  report.total_traffic_bytes = epoch.total_traffic_bytes;
+  report.schedule_seconds = epoch.schedule_seconds;
   return report;
 }
 

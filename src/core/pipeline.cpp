@@ -1,11 +1,11 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
 
-#include "core/skew_handling.hpp"
-#include "join/flows.hpp"
-#include "join/schedulers.hpp"
-#include "net/metrics.hpp"
+#include "core/engine.hpp"
+#include "core/registry.hpp"
 
 namespace ccf::core {
 
@@ -21,48 +21,32 @@ PipelineOptions PipelineOptions::paper_system(const std::string& scheduler_name)
 
 RunReport run_pipeline(const data::Workload& workload,
                        const PipelineOptions& options) {
-  using Clock = std::chrono::steady_clock;
+  // A one-query Engine session: the Engine's single-query epoch runs the
+  // identical stage graph on an identical single-coflow simulation, so this
+  // wrapper is bit-equivalent to the historical hand-wired pipeline (pinned
+  // by tests/core/engine_test.cpp).
+  EngineOptions eopts;
+  eopts.nodes = workload.matrix.nodes();
+  eopts.port_rate = options.port_rate;
+  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  eopts.simulate = options.simulate;
+  eopts.faults = options.faults;
+  eopts.fault_options = options.fault_options;
+  eopts.placement_threads = 1;  // one query: nothing to fan out
+  Engine engine(std::move(eopts));
 
-  // 1. Skew pre-pass (partial duplication) where enabled.
-  const PreparedInput prepared =
-      apply_partial_duplication(workload, options.skew_handling);
-  const opt::AssignmentProblem problem = prepared.problem();
+  QuerySpec query;
+  query.name = options.scheduler;  // the coflow carries the system name
+  // Non-owning view: the engine lives and drains inside this call.
+  query.workload = std::shared_ptr<const data::Workload>(
+      std::shared_ptr<const data::Workload>{}, &workload);
+  query.scheduler = options.scheduler;
+  query.skew_handling = options.skew_handling;
+  engine.submit(std::move(query));
 
-  // 2. Application-level placement.
-  const auto scheduler = join::make_scheduler(options.scheduler);
-  const auto t0 = Clock::now();
-  const opt::Assignment dest = scheduler->schedule(problem);
-  const auto t1 = Clock::now();
-
-  // 3. Flows for the coflow (placement moves + skew broadcasts).
-  net::FlowMatrix flows =
-      join::assignment_flows(prepared.residual, dest, prepared.initial_flows);
-
-  RunReport report;
-  report.scheduler = options.scheduler;
-  report.skew_handled = prepared.skew_handled;
-  report.schedule_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
-  report.traffic_bytes = flows.traffic();
-  report.flow_count = flows.flow_count();
-
-  const net::Fabric fabric(workload.matrix.nodes(), options.port_rate);
-  const net::PortLoads loads = net::port_loads(flows);
-  report.makespan_bytes = loads.bottleneck();
-  report.gamma_seconds = net::gamma_bound(loads, fabric);
-
-  // 4. Network-level execution.
-  if (options.simulate) {
-    net::Simulator sim(fabric, net::make_allocator(options.allocator));
-    if (!options.faults.empty()) {
-      sim.set_faults(options.faults, options.fault_options);
-    }
-    sim.add_coflow(net::CoflowSpec(options.scheduler, 0.0, std::move(flows)));
-    report.sim = sim.run();
-    report.cct_seconds = report.sim.coflows.front().cct();
-  } else {
-    report.cct_seconds = report.gamma_seconds;
-  }
+  EngineReport epoch = engine.drain();
+  RunReport report = std::move(epoch.queries.front());
+  report.sim = std::move(epoch.sim);
   return report;
 }
 

@@ -1,12 +1,14 @@
 #include "core/query.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
-#include "core/skew_handling.hpp"
-#include "join/flows.hpp"
-#include "join/schedulers.hpp"
+#include "core/engine.hpp"
+#include "core/registry.hpp"
+#include "core/stages.hpp"
 
 namespace ccf::core {
 
@@ -29,18 +31,20 @@ QueryReport run_query(const std::vector<QueryStage>& stages,
     }
   }
 
-  // Placement is decided once per stage; only arrivals iterate.
-  const auto scheduler = join::make_scheduler(options.job.scheduler);
-  std::vector<net::FlowMatrix> stage_flows;
-  stage_flows.reserve(stages.size());
+  // Placement is decided once per stage (the composable stage graph, with
+  // one shared scheduler instance); only arrivals iterate below.
+  const auto scheduler = registry::make_scheduler(options.job.scheduler);
+  std::vector<net::FlowMatrix> stage_flow_matrices;
+  stage_flow_matrices.reserve(stages.size());
   for (const QueryStage& stage : stages) {
-    const data::Workload workload = data::generate_workload(stage.workload);
-    const PreparedInput prepared =
-        apply_partial_duplication(workload, options.job.skew_handling);
-    const opt::AssignmentProblem problem = prepared.problem();
-    const opt::Assignment dest = scheduler->schedule(problem);
-    stage_flows.push_back(join::assignment_flows(prepared.residual, dest,
-                                                 prepared.initial_flows));
+    RunContext ctx;
+    ctx.workload = std::make_shared<const data::Workload>(
+        data::generate_workload(stage.workload));
+    ctx.skew_handling = options.job.skew_handling;
+    stage_prepare(ctx);
+    stage_place(ctx, *scheduler);
+    stage_flows(ctx);
+    stage_flow_matrices.push_back(std::move(*ctx.flows));
   }
 
   // Initial ready times: longest compute-only path.
@@ -53,15 +57,23 @@ QueryReport run_query(const std::vector<QueryStage>& stages,
     ready[s] = dep_done + stages[s].compute_seconds;
   }
 
+  // One Engine session; every fixed-point round is one epoch re-submitting
+  // the placed stages' coflows at the refined ready times.
+  EngineOptions eopts;
+  eopts.nodes = n;
+  eopts.port_rate = options.job.port_rate;
+  eopts.allocator =
+      std::string(registry::allocator_name(options.job.allocator));
+  Engine engine(std::move(eopts));
+
   QueryReport report;
   for (report.iterations = 1; report.iterations <= options.max_iterations;
        ++report.iterations) {
-    net::Simulator sim(net::Fabric(n, options.job.port_rate),
-                       net::make_allocator(options.job.allocator));
     for (std::size_t s = 0; s < stages.size(); ++s) {
-      sim.add_coflow(net::CoflowSpec(stages[s].name, ready[s], stage_flows[s]));
+      engine.submit(stages[s].name, ready[s],
+                    net::FlowMatrix(stage_flow_matrices[s]));
     }
-    report.sim = sim.run();
+    report.sim = std::move(engine.drain().sim);
 
     // Recompute ready times from the simulated completions.
     bool changed = false;
@@ -87,7 +99,7 @@ QueryReport run_query(const std::vector<QueryStage>& stages,
     report.stages[s].name = stages[s].name;
     report.stages[s].ready = report.sim.coflows[s].arrival;
     report.stages[s].completion = report.sim.coflows[s].completion;
-    report.stages[s].traffic_bytes = stage_flows[s].traffic();
+    report.stages[s].traffic_bytes = stage_flow_matrices[s].traffic();
     report.makespan = std::max(report.makespan, report.stages[s].completion);
   }
   return report;

@@ -1,0 +1,82 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace ccf::core::registry {
+namespace {
+
+// Canonical orders. These must track join::make_scheduler and
+// net::make_allocator; registry_test resolves every listed name through the
+// layer factories so a drifting entry fails loudly.
+constexpr std::array<std::string_view, 7> kSchedulers = {
+    "hash", "mini", "ccf", "ccf-ls", "ccf-portfolio", "exact", "random"};
+
+struct AllocatorEntry {
+  std::string_view name;
+  net::AllocatorKind kind;
+};
+constexpr std::array<AllocatorEntry, 5> kAllocators = {{
+    {"fair", net::AllocatorKind::kFairSharing},
+    {"madd", net::AllocatorKind::kMadd},
+    {"varys", net::AllocatorKind::kVarys},
+    {"aalo", net::AllocatorKind::kAalo},
+    {"varys-edf", net::AllocatorKind::kVarysDeadline},
+}};
+
+constexpr std::array<std::string_view, 5> kAllocatorNames = {
+    kAllocators[0].name, kAllocators[1].name, kAllocators[2].name,
+    kAllocators[3].name, kAllocators[4].name};
+
+std::string join_names(std::span<const std::string_view> names) {
+  std::string out;
+  for (const std::string_view name : names) {
+    if (!out.empty()) out += " | ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::span<const std::string_view> scheduler_names() { return kSchedulers; }
+
+std::span<const std::string_view> allocator_names() { return kAllocatorNames; }
+
+std::string scheduler_name_list() { return join_names(kSchedulers); }
+
+std::string allocator_name_list() { return join_names(kAllocatorNames); }
+
+bool has_scheduler(std::string_view name) {
+  return std::ranges::find(kSchedulers, name) != kSchedulers.end();
+}
+
+bool has_allocator(std::string_view name) {
+  return std::ranges::find(kAllocatorNames, name) != kAllocatorNames.end();
+}
+
+std::unique_ptr<join::PartitionScheduler> make_scheduler(
+    const std::string& name) {
+  return join::make_scheduler(name);
+}
+
+std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name) {
+  return net::make_allocator(name);
+}
+
+net::AllocatorKind allocator_kind(const std::string& name) {
+  for (const AllocatorEntry& e : kAllocators) {
+    if (e.name == name) return e.kind;
+  }
+  throw std::invalid_argument("registry: unknown allocator: " + name);
+}
+
+std::string_view allocator_name(net::AllocatorKind kind) {
+  for (const AllocatorEntry& e : kAllocators) {
+    if (e.kind == kind) return e.name;
+  }
+  throw std::invalid_argument("registry: unknown allocator kind");
+}
+
+}  // namespace ccf::core::registry

@@ -1,0 +1,48 @@
+// The policy registry: the single place that turns a user-facing policy name
+// into an implementation. Placement schedulers (join::PartitionScheduler) and
+// rate allocators (net::RateAllocator, the inter-coflow schedulers) are both
+// listed here with their canonical names, so the pipeline, the Engine, the
+// CLI tools and the benches all dispatch through one table — and their
+// --help texts print the live name lists instead of hard-coded strings.
+//
+// The concrete factories still live with their layers (join::make_scheduler,
+// net::make_allocator); this module owns the *names* and the name -> factory
+// resolution, and the registry test pins the two views against each other.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "join/schedulers.hpp"
+#include "net/allocator.hpp"
+
+namespace ccf::core::registry {
+
+/// Placement-scheduler names in canonical order ("hash", "mini", "ccf", ...).
+std::span<const std::string_view> scheduler_names();
+
+/// Rate-allocator names in canonical order ("fair", "madd", "varys", ...).
+std::span<const std::string_view> allocator_names();
+
+/// " | "-joined name list for --help texts, e.g. "hash | mini | ccf | ...".
+std::string scheduler_name_list();
+std::string allocator_name_list();
+
+bool has_scheduler(std::string_view name);
+bool has_allocator(std::string_view name);
+
+/// Resolve a scheduler / allocator by registered name. Throws
+/// std::invalid_argument on unknown names (same contract as the layer
+/// factories these delegate to).
+std::unique_ptr<join::PartitionScheduler> make_scheduler(
+    const std::string& name);
+std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name);
+
+/// Name <-> AllocatorKind mapping (the enum is the compiled-in option
+/// surface; the name is the CLI/config surface). Throw / abort on unknowns.
+net::AllocatorKind allocator_kind(const std::string& name);
+std::string_view allocator_name(net::AllocatorKind kind);
+
+}  // namespace ccf::core::registry

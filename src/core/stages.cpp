@@ -1,0 +1,78 @@
+#include "core/stages.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "join/flows.hpp"
+#include "net/metrics.hpp"
+
+namespace ccf::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+void stage_prepare(RunContext& ctx) {
+  if (!ctx.workload) {
+    throw std::logic_error("stage_prepare: context has no workload");
+  }
+  const auto t0 = Clock::now();
+  ctx.prepared = apply_partial_duplication(*ctx.workload, ctx.skew_handling);
+  ctx.skew_handled = ctx.prepared->skew_handled;
+  ctx.timings.prepare_seconds = seconds_since(t0);
+}
+
+void stage_place(RunContext& ctx, join::PartitionScheduler& scheduler) {
+  if (!ctx.prepared) {
+    throw std::logic_error("stage_place: stage_prepare has not run");
+  }
+  const opt::AssignmentProblem problem = ctx.prepared->problem();
+  const auto t0 = Clock::now();
+  ctx.destinations = scheduler.schedule(problem);
+  ctx.timings.place_seconds = seconds_since(t0);
+}
+
+void stage_place(RunContext& ctx) {
+  if (!ctx.scheduler) {
+    throw std::logic_error("stage_place: context has no scheduler");
+  }
+  stage_place(ctx, *ctx.scheduler);
+}
+
+void stage_flows(RunContext& ctx) {
+  if (!ctx.prepared) {
+    throw std::logic_error("stage_flows: stage_prepare has not run");
+  }
+  const auto t0 = Clock::now();
+  ctx.flows = join::assignment_flows(ctx.prepared->residual, ctx.destinations,
+                                     ctx.prepared->initial_flows);
+  ctx.timings.flows_seconds = seconds_since(t0);
+  ctx.traffic_bytes = ctx.flows->traffic();
+  ctx.flow_count = ctx.flows->flow_count();
+}
+
+void stage_metrics(RunContext& ctx, const net::Fabric& fabric) {
+  if (!ctx.flows) {
+    throw std::logic_error("stage_metrics: context has no flows");
+  }
+  const net::PortLoads loads = net::port_loads(*ctx.flows);
+  ctx.makespan_bytes = loads.bottleneck();
+  ctx.gamma_seconds = net::gamma_bound(loads, fabric);
+}
+
+net::CoflowSpec stage_coflow(RunContext& ctx) {
+  if (!ctx.flows) {
+    throw std::logic_error("stage_coflow: context has no flows");
+  }
+  net::CoflowSpec spec(ctx.name, ctx.arrival, std::move(*ctx.flows));
+  ctx.flows.reset();
+  return spec;
+}
+
+}  // namespace ccf::core

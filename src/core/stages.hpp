@@ -1,0 +1,88 @@
+// The pipeline of Fig. 3 decomposed into composable stages. One query's trip
+// through the framework is: skew pre-pass (partial duplication) -> placement
+// (application-level scheduler) -> flow generation -> coflow registration on
+// the network. Each stage operates on a per-query RunContext that carries the
+// intermediate products plus structured wall-clock timings and counters, so
+// every orchestrator (run_pipeline, run_job, run_query, the Engine) composes
+// the same code instead of re-wiring the stages by hand.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/skew_handling.hpp"
+#include "data/workload.hpp"
+#include "join/schedulers.hpp"
+#include "net/coflow.hpp"
+#include "net/fabric.hpp"
+#include "net/flow.hpp"
+#include "opt/model.hpp"
+
+namespace ccf::core {
+
+/// Per-stage wall-clock of one query (RunReport::schedule_seconds is
+/// place_seconds; the rest is new observability).
+struct StageTimings {
+  double prepare_seconds = 0.0;  ///< skew pre-pass
+  double place_seconds = 0.0;    ///< placement scheduler
+  double flows_seconds = 0.0;    ///< flow-matrix generation
+
+  double total_seconds() const noexcept {
+    return prepare_seconds + place_seconds + flows_seconds;
+  }
+};
+
+/// Everything one query carries through the stage graph. Contexts are
+/// independent of each other, so distinct queries may run their stages on
+/// different threads (the Engine's placement fan-out relies on this).
+struct RunContext {
+  // --- submission inputs -------------------------------------------------
+  std::string name = "query";
+  double arrival = 0.0;  ///< seconds after its epoch opens
+  std::shared_ptr<const data::Workload> workload;  ///< null once flows are injected
+  std::string scheduler_name = "ccf";
+  bool skew_handling = true;
+  /// Resolved at submission (policy registry); owned per query so contexts
+  /// stay independent under the parallel placement fan-out.
+  std::unique_ptr<join::PartitionScheduler> scheduler;
+
+  // --- stage products ----------------------------------------------------
+  std::optional<PreparedInput> prepared;    ///< after stage_prepare
+  opt::Assignment destinations;             ///< after stage_place
+  std::optional<net::FlowMatrix> flows;     ///< after stage_flows (or injected)
+
+  // --- structured timings and counters -----------------------------------
+  StageTimings timings;
+  double traffic_bytes = 0.0;
+  double makespan_bytes = 0.0;  ///< bottleneck-port bytes (model T)
+  double gamma_seconds = 0.0;   ///< analytic single-coflow bound
+  std::size_t flow_count = 0;
+  bool skew_handled = false;
+};
+
+/// Skew pre-pass: workload -> PreparedInput (partial duplication when
+/// ctx.skew_handling). Requires ctx.workload.
+void stage_prepare(RunContext& ctx);
+
+/// Placement with an explicit scheduler instance (shared-instance callers
+/// like run_query). Requires stage_prepare to have run.
+void stage_place(RunContext& ctx, join::PartitionScheduler& scheduler);
+
+/// Placement with the context's own scheduler (the Engine path).
+void stage_place(RunContext& ctx);
+
+/// Flow generation: residual + placement + skew broadcasts -> FlowMatrix,
+/// plus the traffic / flow-count counters.
+void stage_flows(RunContext& ctx);
+
+/// Model-level metrics of the generated flows against a concrete fabric:
+/// bottleneck-port bytes T and the analytic bound Γ. Requires ctx.flows.
+void stage_metrics(RunContext& ctx, const net::Fabric& fabric);
+
+/// Coflow registration: consume ctx.flows as the query's coflow (named and
+/// timed after the context). The context's flows are moved out.
+net::CoflowSpec stage_coflow(RunContext& ctx);
+
+}  // namespace ccf::core

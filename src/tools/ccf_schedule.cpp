@@ -10,42 +10,40 @@
 // exact MILP in CPLEX-LP format for an external solver (the paper's Gurobi
 // path). --fail-nodes re-plans the placement as if those destinations had
 // failed (join::replace_failed_destinations) and reports/writes the repaired
-// plan alongside the original.
+// plan alongside the original. The scheduler list in --help is the live
+// policy registry, not a hard-coded string.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "data/io.hpp"
 #include "join/flows.hpp"
 #include "join/schedulers.hpp"
 #include "net/metrics.hpp"
 #include "opt/model.hpp"
+#include "tools/common.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
-  try {
+  return ccf::tools::run_tool("ccf_schedule", [&] {
     ccf::util::ArgParser args("ccf_schedule",
                               "Partition placement front end (Algorithm 1)");
     args.add_flag("chunks", "", "CSV of partition,node,bytes rows (required)");
     args.add_flag("scheduler", "ccf",
-                  "hash | mini | ccf | ccf-ls | ccf-portfolio | exact | random");
-    args.add_flag("port-rate", "125M", "port bandwidth in bytes/s");
+                  ccf::core::registry::scheduler_name_list());
+    ccf::tools::add_port_rate_flag(args);
     args.add_flag("out", "", "write the assignment as partition,node CSV");
     args.add_flag("export-lp", "", "write model (3) in CPLEX-LP format");
     args.add_flag("fail-nodes", "",
                   "comma-separated destinations to fail and re-plan around");
     args.parse(argc, argv);
 
-    if (args.get("chunks").empty()) {
-      std::cerr << args.usage() << "\nerror: --chunks is required\n";
-      return 2;
-    }
-    const ccf::data::ChunkMatrix matrix =
-        ccf::data::chunk_matrix_from_csv(args.get("chunks"));
+    if (!ccf::tools::require_flag(args, "chunks")) return 2;
+    const ccf::data::ChunkMatrix matrix = ccf::tools::load_chunk_matrix(args);
     ccf::opt::AssignmentProblem problem;
     problem.matrix = &matrix;
 
@@ -59,10 +57,11 @@ int main(int argc, char** argv) {
       std::cout << "wrote MILP to " << args.get("export-lp") << "\n";
     }
 
-    const auto scheduler = ccf::join::make_scheduler(args.get("scheduler"));
+    const auto scheduler =
+        ccf::core::registry::make_scheduler(args.get("scheduler"));
     ccf::opt::Assignment dest = scheduler->schedule(problem);
     const auto flows = ccf::join::assignment_flows(matrix, dest);
-    const double rate = ccf::util::parse_scaled(args.get("port-rate"));
+    const double rate = ccf::tools::port_rate(args);
     const ccf::net::Fabric fabric(matrix.nodes(), rate);
 
     ccf::util::Table t({"metric", "value"});
@@ -76,11 +75,8 @@ int main(int argc, char** argv) {
                ccf::util::format_seconds(ccf::net::gamma_bound(flows, fabric))});
 
     if (!args.get("fail-nodes").empty()) {
-      std::vector<std::uint32_t> failed;
-      std::istringstream list(args.get("fail-nodes"));
-      for (std::string id; std::getline(list, id, ',');) {
-        failed.push_back(static_cast<std::uint32_t>(std::stoul(id)));
-      }
+      const std::vector<std::uint32_t> failed =
+          ccf::tools::parse_node_list(args.get("fail-nodes"));
       dest = ccf::join::replace_failed_destinations(problem, std::move(dest),
                                                     failed);
       const auto repaired = ccf::join::assignment_flows(matrix, dest);
@@ -104,8 +100,5 @@ int main(int argc, char** argv) {
       std::cout << "wrote assignment to " << args.get("out") << "\n";
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "ccf_schedule: " << e.what() << "\n";
-    return 1;
-  }
+  });
 }

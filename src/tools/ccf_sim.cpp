@@ -9,25 +9,29 @@
 // With --racks/--hosts the simulation runs on a two-tier rack topology.
 // --faults injects a time,kind,id,side,factor schedule (net/io.hpp);
 // --replace re-assigns flow remainders off ports degraded to at most
-// --replace-threshold.
+// --replace-threshold. The allocator list in --help is the live policy
+// registry, not a hard-coded string.
 #include <iostream>
 #include <memory>
 
+#include "core/registry.hpp"
 #include "net/io.hpp"
 #include "net/metrics.hpp"
 #include "net/rack.hpp"
 #include "net/simulator.hpp"
+#include "tools/common.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
-  try {
+  return ccf::tools::run_tool("ccf_sim", [&] {
     ccf::util::ArgParser args("ccf_sim", "Coflow simulator front end");
     args.add_flag("flows", "", "CSV of src,dst,bytes rows (required)");
     args.add_flag("nodes", "0", "node count (0 = infer from the CSV)");
-    args.add_flag("allocator", "madd", "fair | madd | varys | aalo");
-    args.add_flag("port-rate", "125M", "port bandwidth in bytes/s");
+    args.add_flag("allocator", "madd",
+                  ccf::core::registry::allocator_name_list());
+    ccf::tools::add_port_rate_flag(args);
     args.add_flag("racks", "0", "racks (0 = flat non-blocking fabric)");
     args.add_flag("hosts", "0", "hosts per rack (with --racks)");
     args.add_flag("oversub", "1", "rack uplink oversubscription");
@@ -38,13 +42,9 @@ int main(int argc, char** argv) {
                   "ingress scale at or below which --replace triggers");
     args.parse(argc, argv);
 
-    if (args.get("flows").empty()) {
-      std::cerr << args.usage() << "\nerror: --flows is required\n";
-      return 2;
-    }
-    const double rate = ccf::util::parse_scaled(args.get("port-rate"));
-    ccf::net::FlowMatrix flows = ccf::net::flow_matrix_from_csv(
-        args.get("flows"), static_cast<std::size_t>(args.get_int("nodes")));
+    if (!ccf::tools::require_flag(args, "flows")) return 2;
+    const double rate = ccf::tools::port_rate(args);
+    ccf::net::FlowMatrix flows = ccf::tools::load_flow_matrix(args);
 
     std::shared_ptr<const ccf::net::Network> network;
     const auto racks = static_cast<std::size_t>(args.get_int("racks"));
@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
     const double traffic = flows.traffic();
     const std::size_t count = flows.flow_count();
 
-    ccf::net::Simulator sim(network,
-                            ccf::net::make_allocator(args.get("allocator")));
+    ccf::net::Simulator sim(
+        network, ccf::core::registry::make_allocator(args.get("allocator")));
     const bool faulted = !args.get("faults").empty();
     if (faulted) {
       ccf::net::FaultOptions fault_options;
@@ -93,8 +93,5 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
     return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "ccf_sim: " << e.what() << "\n";
-    return 1;
-  }
+  });
 }

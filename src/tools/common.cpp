@@ -1,0 +1,54 @@
+#include "tools/common.hpp"
+
+#include <exception>
+#include <iostream>
+#include <sstream>
+
+#include "data/io.hpp"
+#include "net/io.hpp"
+#include "util/units.hpp"
+
+namespace ccf::tools {
+
+int run_tool(const std::string& tool, const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::cerr << tool << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+void add_port_rate_flag(util::ArgParser& args) {
+  args.add_flag("port-rate", "125M", "port bandwidth in bytes/s");
+}
+
+double port_rate(const util::ArgParser& args) {
+  return util::parse_scaled(args.get("port-rate"));
+}
+
+bool require_flag(const util::ArgParser& args, const std::string& flag) {
+  if (!args.get(flag).empty()) return true;
+  std::cerr << args.usage() << "\nerror: --" << flag << " is required\n";
+  return false;
+}
+
+net::FlowMatrix load_flow_matrix(const util::ArgParser& args) {
+  return net::flow_matrix_from_csv(
+      args.get("flows"), static_cast<std::size_t>(args.get_int("nodes")));
+}
+
+data::ChunkMatrix load_chunk_matrix(const util::ArgParser& args) {
+  return data::chunk_matrix_from_csv(args.get("chunks"));
+}
+
+std::vector<std::uint32_t> parse_node_list(const std::string& list) {
+  std::vector<std::uint32_t> nodes;
+  std::istringstream in(list);
+  for (std::string id; std::getline(in, id, ',');) {
+    nodes.push_back(static_cast<std::uint32_t>(std::stoul(id)));
+  }
+  return nodes;
+}
+
+}  // namespace ccf::tools

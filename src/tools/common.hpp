@@ -1,0 +1,40 @@
+// Shared plumbing for the CLI front ends (ccf_sim, ccf_schedule): the
+// argument conventions, CSV ingestion and error handling the tools used to
+// copy from each other now live here once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/chunk_matrix.hpp"
+#include "net/flow.hpp"
+#include "util/cli.hpp"
+
+namespace ccf::tools {
+
+/// Run a tool body, mapping any exception to "<tool>: <what>" on stderr and
+/// exit code 1 — the uniform main() shell of every front end.
+int run_tool(const std::string& tool, const std::function<int()>& body);
+
+/// Register the standard --port-rate flag (shared default and help text).
+void add_port_rate_flag(util::ArgParser& args);
+/// Parse the --port-rate value ("125M" etc.) into bytes/second.
+double port_rate(const util::ArgParser& args);
+
+/// If the required flag is empty, print usage + an error and return false
+/// (callers exit with code 2 — the tools' usage-error convention).
+bool require_flag(const util::ArgParser& args, const std::string& flag);
+
+/// Load the --flows CSV ("src,dst,bytes" rows) into an n x n flow matrix,
+/// honoring --nodes (0 = infer from the CSV).
+net::FlowMatrix load_flow_matrix(const util::ArgParser& args);
+
+/// Load the --chunks CSV ("partition,node,bytes" rows) into a chunk matrix.
+data::ChunkMatrix load_chunk_matrix(const util::ArgParser& args);
+
+/// Parse a comma-separated node list ("0,3") into ids (--fail-nodes).
+std::vector<std::uint32_t> parse_node_list(const std::string& list);
+
+}  // namespace ccf::tools

@@ -1,0 +1,74 @@
+// Pins the policy registry (core/registry.hpp) against the layer factories
+// it fronts: every listed name must resolve, resolve to an implementation
+// that reports the same name, and round-trip through the AllocatorKind
+// mapping. This is the drift guard — adding a scheduler to
+// join::make_scheduler without registering it here (or vice versa) should
+// fail loudly in exactly one place.
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ccf::core::registry {
+namespace {
+
+TEST(Registry, SchedulerNamesResolveThroughTheJoinFactory) {
+  EXPECT_GE(scheduler_names().size(), 7u);
+  for (const auto name : scheduler_names()) {
+    const std::string n(name);
+    EXPECT_TRUE(has_scheduler(name)) << n;
+    const auto scheduler = make_scheduler(n);
+    ASSERT_NE(scheduler, nullptr) << n;
+    EXPECT_EQ(scheduler->name(), n);
+    // The registry delegates to the layer factory — same instance behavior.
+    EXPECT_EQ(join::make_scheduler(n)->name(), n);
+  }
+}
+
+TEST(Registry, AllocatorNamesResolveThroughTheNetFactory) {
+  EXPECT_GE(allocator_names().size(), 5u);
+  for (const auto name : allocator_names()) {
+    const std::string n(name);
+    EXPECT_TRUE(has_allocator(name)) << n;
+    const auto allocator = make_allocator(n);
+    ASSERT_NE(allocator, nullptr) << n;
+    EXPECT_EQ(allocator->name(), n);
+    EXPECT_EQ(net::make_allocator(n)->name(), n);
+  }
+}
+
+TEST(Registry, AllocatorKindRoundTrips) {
+  for (const auto name : allocator_names()) {
+    const std::string n(name);
+    EXPECT_EQ(allocator_name(allocator_kind(n)), name) << n;
+  }
+}
+
+TEST(Registry, HelpListsContainEveryName) {
+  const std::string schedulers = scheduler_name_list();
+  for (const auto name : scheduler_names()) {
+    EXPECT_NE(schedulers.find(name), std::string::npos) << name;
+  }
+  const std::string allocators = allocator_name_list();
+  for (const auto name : allocator_names()) {
+    EXPECT_NE(allocators.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(schedulers.find(" | "), std::string::npos);
+  EXPECT_NE(allocators.find(" | "), std::string::npos);
+}
+
+TEST(Registry, UnknownNamesAreRejected) {
+  EXPECT_FALSE(has_scheduler("bogus"));
+  EXPECT_FALSE(has_allocator("bogus"));
+  EXPECT_THROW(make_scheduler("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_allocator("bogus"), std::invalid_argument);
+  EXPECT_THROW(allocator_kind("bogus"), std::invalid_argument);
+  // Case and whitespace are significant: names are exact tokens.
+  EXPECT_FALSE(has_scheduler("CCF"));
+  EXPECT_FALSE(has_allocator(" madd"));
+}
+
+}  // namespace
+}  // namespace ccf::core::registry
