@@ -10,12 +10,21 @@
 // against a checked-in baseline (--baseline BENCH_sim.json), failing with
 // exit code 1 if any allocator regressed more than 2x beyond a small noise
 // floor. Wired up as the `perf_smoke` ctest.
+//
+// --scale appends extreme-scale rows (2.5k-10k racks, 10k-100k coflows) to
+// the full sweep: sparse coflow ingestion, incremental engine only. The
+// reference engine rebuilds a per-event AoS view and would take hours at
+// these sizes, so correctness at scale rests on the engine-equivalence
+// suites at sweep sizes plus the sparse-vs-dense ingestion tests.
+// --smoke-scale gates the smallest scale point (2,500 racks x 10,000
+// coflows) against the checked-in baseline; wired up as `perf_smoke_scale`.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -59,6 +68,102 @@ struct RunResult {
   ccf::net::SimReport report;
   double ms = 0.0;
 };
+
+// --- extreme-scale sweep (sparse ingestion, incremental engine only) -------
+
+/// Fair sharing is excluded: its per-epoch water-filling is quadratic in
+/// active flows and infeasible at these sizes. varys-edf is excluded because
+/// the synthetic scale trace carries no deadlines.
+constexpr const char* kScaleAllocators[] = {"madd", "varys", "aalo"};
+
+/// Aalo's D-CLAS queue transitions re-epoch every active coflow crossing a
+/// threshold, multiplying scheduling epochs ~8x over madd/varys (162k vs 20k
+/// at the 10k-coflow point, ~9 min wall). Its rows stay meaningful at the
+/// smallest scale point but would take hours beyond it, so larger points
+/// skip aalo — noted in the output rather than silently dropped.
+constexpr std::size_t kAaloScaleCoflowCap = 10'000;
+
+std::vector<ccf::net::SparseCoflowSpec> make_scale_workload(
+    std::size_t racks, std::size_t coflows, std::uint64_t seed) {
+  ccf::net::SyntheticTraceOptions opts;
+  opts.racks = racks;
+  opts.coflows = coflows;
+  // Arrival window proportional to coflow count keeps the in-flight
+  // concurrency roughly constant across the sweep (~167 arrivals/sec, the
+  // default sweep's load at its densest point), so scale rows measure
+  // throughput at scale rather than an ever-deepening backlog.
+  opts.duration_seconds = 6e-3 * static_cast<double>(coflows);
+  ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 83), 83);
+  return ccf::net::to_sparse_coflow_specs(
+      ccf::net::generate_synthetic_trace(opts, rng));
+}
+
+struct ScalePoint {
+  std::size_t racks = 0, coflows = 0;
+};
+
+/// Parses "2500x10000,5000x30000" (racks x coflows per point).
+std::vector<ScalePoint> parse_scale_points(const std::string& s) {
+  std::vector<ScalePoint> points;
+  std::istringstream in(s);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    const auto x = tok.find('x');
+    if (x == std::string::npos) {
+      throw std::invalid_argument("bad --scale-points token: " + tok);
+    }
+    ScalePoint p;
+    p.racks = static_cast<std::size_t>(std::stoull(tok.substr(0, x)));
+    p.coflows = static_cast<std::size_t>(std::stoull(tok.substr(x + 1)));
+    points.push_back(p);
+  }
+  return points;
+}
+
+RunResult run_scale_once(const std::vector<ccf::net::SparseCoflowSpec>& specs,
+                         std::size_t racks, const std::string& allocator) {
+  ccf::net::SimConfig config;
+  config.engine = ccf::net::SimEngine::kIncremental;
+  ccf::net::Simulator sim(ccf::net::Fabric(racks),
+                          ccf::net::make_allocator(allocator), config);
+  for (const auto& spec : specs) sim.add_coflow(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.report = sim.run();
+  r.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+             .count();
+  return r;
+}
+
+RunResult run_scale_best(const std::vector<ccf::net::SparseCoflowSpec>& specs,
+                         std::size_t racks, const std::string& allocator,
+                         int reps) {
+  RunResult best;
+  best.ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    auto r = run_scale_once(specs, racks, allocator);
+    best.ms = std::min(best.ms, r.ms);
+    best.report = std::move(r.report);
+  }
+  return best;
+}
+
+/// Every coflow must have been driven to completion (the engine throws on
+/// starvation, but a silent no-op run would also be a bug worth catching).
+bool scale_report_sane(const ccf::net::SimReport& report, std::size_t coflows,
+                       std::string& why) {
+  std::ostringstream os;
+  if (report.coflows.size() != coflows) {
+    os << "coflow count " << report.coflows.size() << " vs " << coflows;
+  } else if (report.events == 0) {
+    os << "no scheduling epochs ran";
+  } else if (!std::isfinite(report.makespan) || report.makespan <= 0.0) {
+    os << "bad makespan " << report.makespan;
+  }
+  why = os.str();
+  return why.empty();
+}
 
 /// Deterministic fault mix for the faulted timing column: a handful of link
 /// degradations, port cuts and stragglers inside the trace window, every one
@@ -271,6 +376,60 @@ int run_smoke(const std::string& baseline_path, std::uint64_t seed) {
   return 0;
 }
 
+/// Gates the smallest scale point: the run must complete sanely and the
+/// incremental engine must stay within 2x of the checked-in scale row past a
+/// noise floor sized for second-scale timings. madd and varys only — aalo
+/// takes ~9 min at this point (see kAaloScaleCoflowCap), too slow for a
+/// smoke gate; its scale row is still regenerated and checked by --scale.
+int run_smoke_scale(const std::string& baseline_path, std::uint64_t seed) {
+  const std::size_t kRacks = 2'500, kCoflows = 10'000;
+  const auto baseline = load_baseline(baseline_path);
+  const auto specs = make_scale_workload(kRacks, kCoflows, seed);
+  bool ok = true;
+  ccf::util::Table t(
+      {"allocator", "events", "now ms", "baseline ms", "ratio", "status"});
+  for (const char* name : {"madd", "varys"}) {
+    const auto r = run_scale_once(specs, kRacks, name);
+    std::string why;
+    if (!scale_report_sane(r.report, kCoflows, why)) {
+      std::cerr << "perf-smoke-scale: " << name << " run insane: " << why
+                << "\n";
+      ok = false;
+    }
+    double base = std::nan("");
+    for (const auto& e : baseline) {
+      if (e.allocator == name && e.coflows == kCoflows && e.racks == kRacks) {
+        base = e.incremental_ms;
+      }
+    }
+    std::string status = "ok";
+    if (!std::isfinite(base)) {
+      status = "no baseline";  // not fatal: scale row absent from baseline
+    } else if (r.ms > 2.0 * base && r.ms - base > 500.0) {
+      status = "REGRESSED";
+      ok = false;
+    }
+    std::ostringstream ev, mss, bss, ratio;
+    ev << r.report.events;
+    mss.precision(1);
+    mss << std::fixed << r.ms;
+    bss.precision(1);
+    bss << std::fixed << (std::isfinite(base) ? base : 0.0);
+    ratio.precision(2);
+    ratio << std::fixed << (std::isfinite(base) ? r.ms / base : 0.0) << "x";
+    t.add_row({name, ev.str(), mss.str(), bss.str(), ratio.str(), status});
+  }
+  t.print(std::cout);
+  if (!ok) {
+    std::cerr << "perf-smoke-scale FAILED (insane run or >2x regression vs "
+              << baseline_path << ")\n";
+    return 1;
+  }
+  std::cout << "perf-smoke-scale passed (" << kCoflows << " coflows on "
+            << kRacks << " racks)\n";
+  return 0;
+}
+
 int run_main(int argc, char** argv) {
   ccf::util::ArgParser args("bench_sim_scale",
                             "Engine scaling sweep + perf-regression harness");
@@ -282,13 +441,25 @@ int run_main(int argc, char** argv) {
   args.add_flag("out", "BENCH_sim.json", "output JSON path (full mode)");
   args.add_flag("smoke", "false",
                 "regression check against --baseline and exit");
+  args.add_flag("smoke-scale", "false",
+                "scale-point regression check against --baseline and exit");
   args.add_flag("baseline", "BENCH_sim.json",
                 "baseline JSON for --smoke comparisons");
+  args.add_flag("scale", "false",
+                "also run the extreme-scale points (sparse ingestion, "
+                "incremental engine only) and append their rows");
+  args.add_flag("scale-points", "2500x10000,5000x30000,10000x100000",
+                "comma-separated racks x coflows scale points");
+  args.add_flag("scale-reps", "1",
+                "timing repetitions per scale point (min taken)");
   args.parse(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const int reps = std::max(1, static_cast<int>(args.get_int("reps")));
 
   if (args.provided("smoke")) return run_smoke(args.get("baseline"), seed);
+  if (args.provided("smoke-scale")) {
+    return run_smoke_scale(args.get("baseline"), seed);
+  }
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"bench_sim_scale\",\n  \"seed\": " << seed
@@ -349,8 +520,55 @@ int run_main(int argc, char** argv) {
       }
     }
   }
-  json << "\n  ]\n}\n";
   t.print(std::cout);
+
+  if (args.provided("scale")) {
+    const int scale_reps =
+        std::max(1, static_cast<int>(args.get_int("scale-reps")));
+    ccf::util::Table st({"workload", "allocator", "flows", "events",
+                         "incremental ms", "events/sec"});
+    for (const ScalePoint& p : parse_scale_points(args.get("scale-points"))) {
+      const auto specs = make_scale_workload(p.racks, p.coflows, seed);
+      std::size_t flows = 0;
+      for (const auto& s : specs) flows += s.flows.size();
+      for (const char* name : kScaleAllocators) {
+        if (std::string(name) == "aalo" && p.coflows > kAaloScaleCoflowCap) {
+          std::cout << "scale: skipping aalo at " << p.coflows << "x"
+                    << p.racks << " (D-CLAS epoch blow-up, see header)\n";
+          continue;
+        }
+        const auto r = run_scale_best(specs, p.racks, name, scale_reps);
+        std::string why;
+        if (!scale_report_sane(r.report, p.coflows, why)) {
+          std::cerr << "SCALE RUN INSANE (" << p.coflows << "x" << p.racks
+                    << ", " << name << "): " << why << "\n";
+          ok = false;
+        }
+        std::ostringstream wl, fl, ev, ims, eps;
+        wl << p.coflows << "x" << p.racks;
+        fl << flows;
+        ev << r.report.events;
+        ims.precision(1);
+        ims << std::fixed << r.ms;
+        eps.precision(0);
+        eps << std::fixed
+            << (r.ms > 0.0 ? 1e3 * static_cast<double>(r.report.events) / r.ms
+                           : 0.0);
+        st.add_row({wl.str(), name, fl.str(), ev.str(), ims.str(), eps.str()});
+        if (!first) json << ",\n";
+        first = false;
+        json << "    {\"allocator\": \"" << name
+             << "\", \"coflows\": " << p.coflows << ", \"racks\": " << p.racks
+             << ", \"flows\": " << flows
+             << ", \"events\": " << r.report.events
+             << ", \"incremental_ms\": " << r.ms << "}";
+      }
+    }
+    std::cout << "\n";
+    st.print(std::cout);
+  }
+
+  json << "\n  ]\n}\n";
   if (!ok) return 1;
 
   std::ofstream out(args.get("out"));

@@ -83,10 +83,17 @@ EngineReport Engine::drain() {
       },
       options_.placement_threads);
 
-  // Coflow registration + the shared epoch simulation.
+  // Coflow registration + the shared epoch simulation. The session arena is
+  // reset at this drain boundary and handed to the simulator, so repeated
+  // drains recycle the first epoch's scratch blocks instead of reallocating.
   if (options_.simulate && n > 0) {
+    net::SimConfig sim_cfg = options_.sim;
+    if (!sim_cfg.arena) {
+      sim_arena_.reset();
+      sim_cfg.arena = &sim_arena_;
+    }
     net::Simulator sim(fabric_, registry::make_allocator(options_.allocator),
-                       options_.sim);
+                       sim_cfg);
     if (!options_.faults.empty()) {
       sim.set_faults(options_.faults, options_.fault_options);
     }

@@ -45,6 +45,7 @@
 #include "net/faults.hpp"
 #include "net/flow.hpp"
 #include "net/simulator.hpp"
+#include "util/arena.hpp"
 
 namespace ccf::core {
 
@@ -138,6 +139,11 @@ class Engine {
   EngineOptions options_;
   net::Fabric fabric_;
   std::vector<RunContext> pending_;
+  /// Simulator scratch recycled across drains: reset at each drain boundary,
+  /// so steady-state epochs run their SoA columns and link tables out of the
+  /// blocks the first drain allocated (see util::MonotonicArena). Unused when
+  /// options_.sim.arena is caller-supplied.
+  util::MonotonicArena sim_arena_;
   EngineStats stats_;
   QueryId next_id_ = 0;
 };

@@ -9,6 +9,10 @@
 
 #include "util/parallel.hpp"
 
+#if defined(CCF_SIMD_FILL) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace ccf::net {
 
 namespace {
@@ -55,6 +59,10 @@ void AllocatorContext::bind(const Network& network, std::size_t coflow_count) {
   sched_pos_.assign(coflow_count, kNoSlot);
   sched_seen_dirty_ = 0;
   sched_primed_ = false;
+  group_start_.assign(coflow_count, 0);
+  group_len_.assign(coflow_count, 0);
+  group_cursor_.resize(coflow_count);
+  group_present_.clear();
   groups_valid_ = false;
   min_dt_ = kInfDt;
   min_dt_valid_ = false;
@@ -120,15 +128,25 @@ void AllocatorContext::clear_dirty() {
 void AllocatorContext::group_by_coflow(const ActiveFlows& flows) {
   if (groups_valid_) return;
   groups_valid_ = true;
-  group_offset_.assign(coflow_count_ + 1, 0);
+  // Sparse counting sort: clear only the coflows present last epoch, count
+  // and scatter only over the active flows. Segment order in group_flow_ is
+  // first-touch order (irrelevant to callers); within a segment the members
+  // stay in ascending flow-position order, exactly as the dense prefix-sum
+  // version produced.
+  for (const std::uint32_t c : group_present_) group_len_[c] = 0;
+  group_present_.clear();
   for (std::size_t i = 0; i < flows.count; ++i) {
-    ++group_offset_[flows.coflow[i] + 1];
+    if (group_len_[flows.coflow[i]]++ == 0) {
+      group_present_.push_back(flows.coflow[i]);
+    }
   }
-  for (std::size_t c = 1; c <= coflow_count_; ++c) {
-    group_offset_[c] += group_offset_[c - 1];
+  std::uint32_t off = 0;
+  for (const std::uint32_t c : group_present_) {
+    group_start_[c] = off;
+    group_cursor_[c] = off;
+    off += group_len_[c];
   }
   group_flow_.resize(flows.count);
-  group_cursor_.assign(group_offset_.begin(), group_offset_.end() - 1);
   for (std::size_t i = 0; i < flows.count; ++i) {
     group_flow_[group_cursor_[flows.coflow[i]]++] =
         static_cast<std::uint32_t>(i);
@@ -218,8 +236,20 @@ void build_group_structure(const ActiveFlows& flows,
     }
   } else {
     for (std::size_t m = 0; m < m_count; ++m) {
-      for (const auto l : flows.links(members[m])) ++gs.cnt[link_slot[l]];
+      const std::uint32_t p = members[m];
+      if (flows.link_len[p] == 2) {  // fabric flows: egress + ingress
+        const auto* lp = flows.link_ptr[p];
+        ++gs.cnt[link_slot[lp[0]]];
+        ++gs.cnt[link_slot[lp[1]]];
+      } else {
+        for (const auto l : flows.links(p)) ++gs.cnt[link_slot[l]];
+      }
     }
+  }
+
+  gs.cnt_d.resize(u_count);
+  for (std::size_t u = 0; u < u_count; ++u) {
+    gs.cnt_d[u] = static_cast<double>(gs.cnt[u]);
   }
 
   // Per-link member lists (counting-sort scatter preserves member order, so
@@ -232,8 +262,14 @@ void build_group_structure(const ActiveFlows& flows,
   // (post-scatter off[u] == original off[u+1]).
   for (std::size_t m = 0; m < m_count; ++m) {
     const std::uint32_t p = members[m];
-    for (const auto l : flows.links(p)) {
-      gs.flat[gs.off[link_slot[l]]++] = static_cast<std::uint32_t>(m);
+    if (flows.link_len[p] == 2) {  // fabric flows: egress + ingress
+      const auto* lp = flows.link_ptr[p];
+      gs.flat[gs.off[link_slot[lp[0]]]++] = static_cast<std::uint32_t>(m);
+      gs.flat[gs.off[link_slot[lp[1]]]++] = static_cast<std::uint32_t>(m);
+    } else {
+      for (const auto l : flows.links(p)) {
+        gs.flat[gs.off[link_slot[l]]++] = static_cast<std::uint32_t>(m);
+      }
     }
   }
   for (std::size_t u = u_count; u > 0; --u) gs.off[u] = gs.off[u - 1];
@@ -265,9 +301,20 @@ void build_group_structure_dense(const ActiveFlows& flows,
   bool all_linked = true;
   for (std::size_t m = 0; m < m_count; ++m) {
     const std::uint32_t p = members[m];
-    incidences += flows.link_len[p];
-    all_linked = all_linked && flows.link_len[p] != 0;
-    for (const auto l : flows.links(p)) ++gs.cnt[l];
+    const std::size_t len = flows.link_len[p];
+    incidences += len;
+    all_linked = all_linked && len != 0;
+    if (len == 2) {  // fabric flows: egress + ingress
+      const auto* lp = flows.link_ptr[p];
+      ++gs.cnt[lp[0]];
+      ++gs.cnt[lp[1]];
+    } else {
+      for (const auto l : flows.links(p)) ++gs.cnt[l];
+    }
+  }
+  gs.cnt_d.resize(link_count);
+  for (std::size_t u = 0; u < link_count; ++u) {
+    gs.cnt_d[u] = static_cast<double>(gs.cnt[u]);
   }
   gs.off.resize(link_count + 1);
   gs.off[0] = 0;
@@ -277,14 +324,70 @@ void build_group_structure_dense(const ActiveFlows& flows,
   gs.flat.resize(incidences);
   // Same off-as-cursor scatter as the generic builder (order-preserving).
   for (std::size_t m = 0; m < m_count; ++m) {
-    for (const auto l : flows.links(members[m])) {
-      gs.flat[gs.off[l]++] = static_cast<std::uint32_t>(m);
+    const std::uint32_t p = members[m];
+    if (flows.link_len[p] == 2) {  // fabric flows: egress + ingress
+      const auto* lp = flows.link_ptr[p];
+      gs.flat[gs.off[lp[0]]++] = static_cast<std::uint32_t>(m);
+      gs.flat[gs.off[lp[1]]++] = static_cast<std::uint32_t>(m);
+    } else {
+      for (const auto l : flows.links(p)) {
+        gs.flat[gs.off[l]++] = static_cast<std::uint32_t>(m);
+      }
     }
   }
   for (std::size_t u = link_count; u > 0; --u) gs.off[u] = gs.off[u - 1];
   gs.off[0] = 0;
   gs.all_linked = all_linked;
   gs.valid = true;
+}
+
+namespace {
+
+std::atomic<FillKernel> g_fill_kernel{FillKernel::kVectorized};
+
+/// Pass 1 of the vectorized bottleneck scan: share[u] = max(res[u],0)/cnt[u]
+/// for every slot, returning the minimum share (NaN shares — zero residual on
+/// a memberless dense slot — are skipped, exactly as the strict < of the
+/// scalar scan skips them; +inf parks pass through but can never win below
+/// kInf). Branch-light and contiguous so the compiler vectorizes it; with
+/// CCF_SIMD_FILL an explicit AVX2 body handles the aligned body.
+double bottleneck_scan(const double* res, const double* cnt, double* share,
+                       std::size_t u_count) {
+  constexpr double kInf = AllocatorContext::kInfDt;
+  double m = kInf;
+  std::size_t u = 0;
+#if defined(CCF_SIMD_FILL) && defined(__AVX2__)
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = _mm256_set1_pd(kInf);
+  for (; u + 4 <= u_count; u += 4) {
+    const __m256d r = _mm256_loadu_pd(res + u);
+    const __m256d c = _mm256_loadu_pd(cnt + u);
+    // max_pd(zero, r) keeps r on ties, matching std::max(res, 0.0);
+    // min_pd(s, acc) keeps acc when s is NaN, matching std::min(m, s).
+    const __m256d s = _mm256_div_pd(_mm256_max_pd(zero, r), c);
+    _mm256_storeu_pd(share + u, s);
+    acc = _mm256_min_pd(s, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  m = std::min(std::min(lanes[0], lanes[1]), std::min(lanes[2], lanes[3]));
+#endif
+  for (; u < u_count; ++u) {
+    const double s = std::max(res[u], 0.0) / cnt[u];
+    share[u] = s;
+    m = std::min(m, s);
+  }
+  return m;
+}
+
+}  // namespace
+
+void set_maxmin_fill_kernel(FillKernel kernel) noexcept {
+  g_fill_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+FillKernel maxmin_fill_kernel() noexcept {
+  return g_fill_kernel.load(std::memory_order_relaxed);
 }
 
 double maxmin_fill_prepared(const ActiveFlows& flows,
@@ -295,28 +398,33 @@ double maxmin_fill_prepared(const ActiveFlows& flows,
   const std::size_t m_count = members.size();
   if (m_count == 0) return kInf;
   const std::size_t u_count = gs.used.size();
+  const FillKernel kernel = g_fill_kernel.load(std::memory_order_relaxed);
 
   auto& link_slot = ctx.scratch_u32b;  // link id -> dense slot (kNoSlot-clean)
-  auto& cnt = ctx.scratch_u32c;        // working copy of gs.cnt
   auto& frozen = ctx.scratch_u32f;     // per-member frozen flag
   // Densified used-link residuals: the bottleneck scan below reruns every
   // round, and gather-loads through gs.used are what it would wait on. The
   // dense copy sees the exact subtraction sequence the residual span would,
   // so the values written back are bit-identical. A slot whose last flow
   // froze is flushed immediately and parked at +inf, which makes its share
-  // inf/0 == +inf — never selected by the strict < — so the scan needs no
-  // cnt test. scratch_f64 is all-zero on entry (madd invariant).
+  // inf/0 == +inf — never selected as bottleneck — so the scan needs no
+  // cnt test. scratch_f64 is all-zero on entry (madd invariant); the share
+  // and live-count lanes (scratch_f64b/c) are plain per-call scratch.
   auto& res = ctx.scratch_f64;
+  auto& share = ctx.scratch_f64b;
+  auto& cnt = ctx.scratch_f64c;  // live member counts, exact small integers
 
   if (link_slot.size() < residual.size()) {
     link_slot.assign(residual.size(), kNoSlot);
   }
-  for (std::size_t u = 0; u < u_count; ++u) {
-    link_slot[gs.used[u]] = static_cast<std::uint32_t>(u);
-  }
-  cnt.assign(gs.cnt.begin(), gs.cnt.end());
+  cnt.assign(gs.cnt_d.begin(), gs.cnt_d.end());
+  if (share.size() < u_count) share.resize(u_count);
   if (res.size() < u_count) res.resize(u_count, 0.0);
-  for (std::size_t u = 0; u < u_count; ++u) res[u] = residual[gs.used[u]];
+  for (std::size_t u = 0; u < u_count; ++u) {
+    const auto l = gs.used[u];
+    link_slot[l] = static_cast<std::uint32_t>(u);
+    res[u] = residual[l];
+  }
 
   // Every member crossing a link is frozen (and thus rated) below; members
   // without links can only be rated by an explicit zero. Skipped in the
@@ -325,18 +433,71 @@ double maxmin_fill_prepared(const ActiveFlows& flows,
     for (std::size_t m = 0; m < m_count; ++m) flows.rate[members[m]] = 0.0;
   }
 
+  // Wide fills compact parked positions away, so a position is no longer a
+  // slot id: slot_id maps position -> original slot. Narrow fills (the many
+  // tiny per-coflow fills of aalo/varys) skip the machinery — the scan is
+  // already short and the identity map would cost more than it saves. The
+  // scalar reference kernel never compacts.
+  const bool compacting =
+      kernel != FillKernel::kScalarReference && u_count >= 64;
+  auto& slot_id = ctx.scratch_u32c;
+  if (compacting) {
+    if (slot_id.size() < u_count) slot_id.resize(u_count);
+    for (std::size_t u = 0; u < u_count; ++u) {
+      slot_id[u] = static_cast<std::uint32_t>(u);
+    }
+  }
+
   frozen.assign(m_count, 0);
   std::size_t remaining_flows = m_count;
+  std::size_t act = u_count;  // live prefix of the position arrays
+  std::size_t parked = 0;     // positions in [0, act) parked at +inf
   double min_dt = kInf;
   while (remaining_flows > 0) {
-    // Bottleneck link: smallest fair share among links in use.
+    if (compacting && parked * 2 >= act) {
+      // Over half the scanned positions can never win again (parked at +inf,
+      // or memberless dense slots): stable-compact the live positions down so
+      // the per-round scan shrinks with the fill. Dropped positions were
+      // either flushed at park time or never owned their residual entry, and
+      // compaction preserves ascending slot order, so the (value, index)
+      // selection sequence — and thus every rate — is unchanged.
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < act; ++j) {
+        if (cnt[j] == 0.0) continue;
+        res[w] = res[j];
+        cnt[w] = cnt[j];
+        slot_id[w] = slot_id[j];
+        link_slot[gs.used[slot_id[j]]] = static_cast<std::uint32_t>(w);
+        ++w;
+      }
+      act = w;
+      parked = 0;
+    }
+    // Bottleneck link: smallest fair share among links in use; ties resolve
+    // to the smallest position (= smallest link id, compaction is stable).
     double best_share = kInf;
     std::size_t best = u_count;
-    for (std::size_t u = 0; u < u_count; ++u) {
-      const double share = std::max(res[u], 0.0) / static_cast<double>(cnt[u]);
-      if (share < best_share) {
-        best_share = share;
-        best = u;
+    if (kernel == FillKernel::kScalarReference) {
+      // Original branchy scan: first strict improvement wins.
+      for (std::size_t u = 0; u < act; ++u) {
+        const double s = std::max(res[u], 0.0) / cnt[u];
+        if (s < best_share) {
+          best_share = s;
+          best = u;
+        }
+      }
+    } else {
+      // Two-pass: dense value min, then first index matching it. Taking the
+      // share back out of the array at the matched index makes the selected
+      // value bit-identical to the scalar kernel's even when the fold saw a
+      // differently-signed zero first.
+      const double m =
+          bottleneck_scan(res.data(), cnt.data(), share.data(), act);
+      if (m < kInf) {
+        std::size_t u = 0;
+        while (share[u] != m) ++u;
+        best = compacting ? slot_id[u] : u;
+        best_share = share[u];
       }
     }
     if (best == u_count) break;  // all-zero-link group, or defensive
@@ -351,23 +512,32 @@ double maxmin_fill_prepared(const ActiveFlows& flows,
       if (best_share > 0.0) {
         min_dt = std::min(min_dt, flows.remaining[p] / best_share);
       }
-      for (const auto l : flows.links(p)) {
+      const auto settle = [&](const auto l) {
         const std::uint32_t s = link_slot[l];
         res[s] -= best_share;
-        if (--cnt[s] == 0) {  // final value for this link: flush and park
+        if ((cnt[s] -= 1.0) == 0.0) {  // final value: flush and park
           residual[l] = res[s];
           res[s] = kInf;
+          ++parked;
         }
+      };
+      if (flows.link_len[p] == 2) {  // fabric flows: egress + ingress
+        const auto* lp = flows.link_ptr[p];
+        settle(lp[0]);
+        settle(lp[1]);
+      } else {
+        for (const auto l : flows.links(p)) settle(l);
       }
     }
   }
 
   // Write back links still carrying unfrozen flows (defensive-break path)
-  // and restore the scratch invariants for the next caller.
-  for (std::size_t u = 0; u < u_count; ++u) {
-    if (cnt[u] != 0) residual[gs.used[u]] = res[u];
-    res[u] = 0.0;
+  // and restore the scratch invariants for the next caller. Positions beyond
+  // `act` are compacted-away leftovers; only their res lanes need re-zeroing.
+  for (std::size_t j = 0; j < act; ++j) {
+    if (cnt[j] != 0.0) residual[gs.used[compacting ? slot_id[j] : j]] = res[j];
   }
+  for (std::size_t u = 0; u < u_count; ++u) res[u] = 0.0;
   for (const auto l : gs.used) link_slot[l] = kNoSlot;
   return min_dt;
 }
@@ -399,9 +569,19 @@ double madd_sequential(const ActiveFlows& flows,
     for (const std::uint32_t p : members) {
       flows.rate[p] = 0.0;
       const double rem = flows.remaining[p];
-      for (const auto l : flows.links(p)) {
-        if (load[l] == 0.0) touched.push_back(l);
-        load[l] += rem;
+      if (flows.link_len[p] == 2) {  // fabric flows: egress + ingress
+        const auto* lp = flows.link_ptr[p];
+        const auto a = lp[0];
+        const auto b = lp[1];
+        if (load[a] == 0.0) touched.push_back(a);
+        load[a] += rem;
+        if (load[b] == 0.0) touched.push_back(b);
+        load[b] += rem;
+      } else {
+        for (const auto l : flows.links(p)) {
+          if (load[l] == 0.0) touched.push_back(l);
+          load[l] += rem;
+        }
       }
     }
     // Γ against *residual* capacities; an exhausted link starves the coflow
@@ -423,10 +603,18 @@ double madd_sequential(const ActiveFlows& flows,
       const double rate = flows.remaining[p] / gamma;
       flows.rate[p] = rate;
       dt = std::min(dt, flows.remaining[p] / rate);
-      for (const auto l : flows.links(p)) {
-        residual[l] -= rate;
+      if (flows.link_len[p] == 2) {
+        const auto* lp = flows.link_ptr[p];
+        const auto a = lp[0];
+        const auto b = lp[1];
         // Clamp tiny negative residuals from floating-point accumulation.
-        residual[l] = std::max(residual[l], 0.0);
+        residual[a] = std::max(residual[a] - rate, 0.0);
+        residual[b] = std::max(residual[b] - rate, 0.0);
+      } else {
+        for (const auto l : flows.links(p)) {
+          residual[l] -= rate;
+          residual[l] = std::max(residual[l], 0.0);
+        }
       }
     }
     ctx.coflow_dt[cid] = dt;

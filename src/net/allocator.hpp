@@ -93,6 +93,11 @@ namespace detail {
 struct GroupStructure {
   std::vector<Network::LinkId> used;  ///< links in use, ascending ids
   std::vector<std::uint32_t> cnt;     ///< member incidences per used slot
+  std::vector<double> cnt_d;          ///< cnt mirrored as doubles — the fill's
+                                      ///< bottleneck sweep divides by it, and
+                                      ///< a contiguous double lane avoids a
+                                      ///< per-element int->fp convert in the
+                                      ///< vectorized scan
   std::vector<std::uint32_t> off;     ///< per-slot start into `flat`
   std::vector<std::uint32_t> flat;    ///< member ordinals grouped by slot
   bool all_linked = false;            ///< every member crosses >= 1 link
@@ -171,12 +176,15 @@ class AllocatorContext {
   // --- shared helpers -------------------------------------------------
   /// Group the active flows by coflow id (counting sort; stable, so members
   /// keep ascending flow-position order). Cached per epoch: repeated calls
-  /// within one allocate() are free.
+  /// within one allocate() are free. Cost is O(active flows + coflows with
+  /// active flows) — only the coflows present in the previous epoch are
+  /// cleared, so an epoch's cost never depends on the total coflow
+  /// population (essential at 10^5 coflows).
   void group_by_coflow(const ActiveFlows& flows);
-  /// Active-flow positions of coflow `c` (valid after group_by_coflow).
+  /// Active-flow positions of coflow `c` (valid after group_by_coflow;
+  /// empty for a coflow with no active flows).
   std::span<const std::uint32_t> members(std::uint32_t c) const noexcept {
-    return {group_flow_.data() + group_offset_[c],
-            group_offset_[c + 1] - group_offset_[c]};
+    return {group_flow_.data() + group_start_[c], group_len_[c]};
   }
 
   /// The maintained set of schedulable coflows (started && !completed).
@@ -200,9 +208,11 @@ class AllocatorContext {
   // Helpers use these only for the duration of one call; they maintain the
   // invariants noted in allocator.cpp (scratch_u32b all-npos, scratch_f64
   // all-zero on entry/exit) so sparse stamping needs no per-call clear.
+  // scratch_f64b/scratch_f64c carry no invariant: the water-fill uses them
+  // as per-round share and live-count lanes with fully overwritten prefixes.
   std::vector<std::uint32_t> scratch_u32a, scratch_u32b, scratch_u32c;
   std::vector<std::uint32_t> scratch_u32f;
-  std::vector<double> scratch_f64;
+  std::vector<double> scratch_f64, scratch_f64b, scratch_f64c;
   detail::GroupStructure scratch_group;  ///< throwaway for plain maxmin_fill
 
  private:
@@ -220,8 +230,11 @@ class AllocatorContext {
   std::vector<std::uint32_t> sched_pos_;  ///< position in sched_, or npos
   std::uint64_t sched_seen_dirty_ = 0;  ///< dirty entries already applied
   bool sched_primed_ = false;           ///< initial full sweep done
-  // per-epoch grouping cache
-  std::vector<std::uint32_t> group_offset_, group_flow_, group_cursor_;
+  // per-epoch grouping cache, sparse over the coflows that actually have
+  // active flows: group_len_[c] == 0 for every absent coflow, and only the
+  // coflows listed in group_present_ (last grouped epoch) are ever reset.
+  std::vector<std::uint32_t> group_start_, group_len_, group_flow_;
+  std::vector<std::uint32_t> group_cursor_, group_present_;
   bool groups_valid_ = false;
   double min_dt_ = kInfDt;
   bool min_dt_valid_ = false;
@@ -290,6 +303,18 @@ double maxmin_fill_prepared(const ActiveFlows& flows,
                             std::span<const std::uint32_t> members,
                             const GroupStructure& gs, AllocatorContext& ctx,
                             std::span<double> residual);
+
+/// Bottleneck-scan kernel of maxmin_fill_prepared. kVectorized (default) is
+/// the branch-light two-pass sweep over the dense slot arrays (value min,
+/// then first-index match — auto-vectorizable, optionally AVX2 when built
+/// with CCF_SIMD_FILL); kScalarReference is the original branchy
+/// first-strict-min scan. Both select the same link and the same share value
+/// bit-for-bit (the vectorized path re-reads the share at the matched index,
+/// so even the sign of a zero share agrees); the switch exists so the
+/// equivalence tests can pin one against the other per allocator.
+enum class FillKernel { kVectorized, kScalarReference };
+void set_maxmin_fill_kernel(FillKernel kernel) noexcept;
+FillKernel maxmin_fill_kernel() noexcept;
 
 /// Max-min water-filling of the flows at positions `members` against the
 /// residual link capacities (consumed in place). Shared by FairSharing (one

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/flow.hpp"
 
@@ -33,6 +34,27 @@ struct CoflowSpec {
         arrival(arrival_time),
         flows(std::move(matrix)) {}
   explicit CoflowSpec(FlowMatrix matrix) : flows(std::move(matrix)) {}
+};
+
+/// Sparse companion of CoflowSpec: an explicit flow list instead of a dense
+/// n x n matrix. A 2,500-rack matrix is ~50 MB per coflow regardless of how
+/// few flows it holds; service-scale workloads (10^4-10^5 coflows averaging
+/// ~20 flows each) must enter the simulator in this form. Each Flow supplies
+/// src, dst and volume; Flow::start is interpreted as the activation offset
+/// relative to `arrival` (0 = at arrival), and the remaining fields are
+/// engine-owned. Unlike FlowMatrix, duplicate (src,dst) entries stay
+/// separate flows.
+struct SparseCoflowSpec {
+  std::string name = "coflow";
+  double arrival = 0.0;
+  std::vector<Flow> flows;
+  double deadline = 0.0;  ///< seconds after arrival; 0 = none
+
+  SparseCoflowSpec(std::string coflow_name, double arrival_time,
+                   std::vector<Flow> flow_list)
+      : name(std::move(coflow_name)),
+        arrival(arrival_time),
+        flows(std::move(flow_list)) {}
 };
 
 /// Mutable per-coflow bookkeeping shared between the simulator and the

@@ -20,15 +20,31 @@ class FairSharingAllocator final : public RateAllocator {
     // Coflow-agnostic: the dirty list carries no information for this policy.
     ctx.clear_dirty();
     const std::span<double> residual = ctx.reset_residual();
-    // One global group holding every active flow. It touches essentially
-    // every link, so use the dense identity-slot structure builder.
-    ctx.order.resize(flows.count);
-    std::iota(ctx.order.begin(), ctx.order.end(), 0u);
-    detail::build_group_structure_dense(flows, ctx.order, ctx,
-                                        ctx.scratch_group);
-    ctx.set_min_dt(detail::maxmin_fill_prepared(flows, ctx.order,
-                                                ctx.scratch_group, ctx,
-                                                residual));
+    // One global group holding every active flow. The identity member list
+    // only ever grows, so extend it monotonically instead of re-iota-ing
+    // every epoch (ctx.order is otherwise unused by this policy).
+    if (ctx.order.size() < flows.count) {
+      const std::size_t old = ctx.order.size();
+      ctx.order.resize(flows.count);
+      std::iota(ctx.order.begin() + static_cast<std::ptrdiff_t>(old),
+                ctx.order.end(), static_cast<std::uint32_t>(old));
+    }
+    const std::span<const std::uint32_t> all(ctx.order.data(), flows.count);
+    // The group touches essentially every link at high concurrency, where
+    // the dense identity-slot builder (no discovery, no sort) wins. At
+    // service scale the opposite regime appears: a few thousand active
+    // flows on tens of thousands of links, where water-fill rounds over
+    // every link dwarf the discovery cost — switch to the generic builder,
+    // whose `used` set covers only touched links. Both builders freeze the
+    // same flows at the same shares in the same order (see the dense
+    // builder's contract), so the choice never changes a rate.
+    if (flows.count * 4 < ctx.link_count()) {
+      detail::build_group_structure(flows, all, ctx, ctx.scratch_group);
+    } else {
+      detail::build_group_structure_dense(flows, all, ctx, ctx.scratch_group);
+    }
+    ctx.set_min_dt(detail::maxmin_fill_prepared(flows, all, ctx.scratch_group,
+                                                ctx, residual));
   }
 };
 

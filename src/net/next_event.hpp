@@ -1,0 +1,120 @@
+// Chunked parallel next-event reduction (the replicant-opera pattern: per-
+// chunk cached minima, dirty chunks rescanned, results merged by a
+// deterministic reduction — see SNIPPETS.md snippet 1 and DESIGN.md §"Event-
+// core data layout").
+//
+// The engine's fallback next-event time is min over active flows of
+// remaining[i]/rate[i] (flows with rate > 0). Minimum over doubles is exact
+// and order-independent, so splitting the scan into fixed-boundary chunks
+// and merging per-chunk minima is bit-identical to the sequential scan —
+// unlike the advance loop's byte sums, no ulp caveat applies. The scanner
+// caches each chunk's minimum and rescans only chunks whose flows changed
+// (rates rewritten, compaction shifted survivors, arrivals appended);
+// untouched chunks are served from the cache. Above a caller-supplied
+// threshold the dirty rescans fan out over util::parallel_for and the merge
+// runs through util::parallel_reduce, both with deterministic chunk order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace ccf::net {
+
+class NextEventScan {
+ public:
+  static constexpr std::size_t kDefaultGrain = 2048;
+
+  /// Point the scanner at the engine's SoA columns. The pointers must stay
+  /// valid across min_dt calls; rebinding resets the cache.
+  void bind(const double* remaining, const double* rate,
+            std::size_t grain = kDefaultGrain) {
+    remaining_ = remaining;
+    rate_ = rate;
+    grain_ = grain == 0 ? kDefaultGrain : grain;
+    chunk_min_.clear();
+    dirty_.clear();
+    valid_count_ = 0;
+  }
+
+  /// Flows [begin, end) changed (rate or remaining): their chunks rescan on
+  /// the next min_dt call.
+  void mark_dirty(std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    const std::size_t first = begin / grain_;
+    const std::size_t last = (end - 1) / grain_;
+    if (dirty_.size() <= last) dirty_.resize(last + 1, 1);
+    for (std::size_t k = first; k <= last; ++k) dirty_[k] = 1;
+  }
+
+  /// Exact minimum of remaining[i]/rate[i] over i in [0, count) with
+  /// rate[i] > 0; +infinity when no flow is rated. Rescans dirty chunks —
+  /// in parallel when count >= parallel_threshold — then merges the cached
+  /// chunk minima in deterministic chunk order.
+  double min_dt(std::size_t count, std::size_t parallel_threshold) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    if (count == 0) return kInf;
+    const std::size_t chunks = util::parallel_chunk_count(count, grain_);
+    // A count change redraws the last chunk's boundary (and can expose
+    // cached minima of flows past the new end): invalidate every chunk from
+    // the smaller boundary chunk up.
+    if (count != valid_count_) {
+      const std::size_t from = std::min(count, valid_count_) / grain_;
+      if (dirty_.size() < chunks) dirty_.resize(chunks, 1);
+      for (std::size_t k = from; k < dirty_.size(); ++k) dirty_[k] = 1;
+      valid_count_ = count;
+    }
+    if (chunk_min_.size() < chunks) chunk_min_.resize(chunks, kInf);
+    if (dirty_.size() < chunks) dirty_.resize(chunks, 1);
+
+    auto rescan = [&](std::size_t begin, std::size_t end) {
+      const std::size_t k = begin / grain_;
+      if (!dirty_[k]) return;
+      double m = kInf;
+      const double* rem = remaining_;
+      const double* rate = rate_;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (rate[i] > 0.0) {
+          const double dt = rem[i] / rate[i];
+          m = dt < m ? dt : m;
+        }
+      }
+      chunk_min_[k] = m;
+      dirty_[k] = 0;
+    };
+    if (count >= parallel_threshold && chunks > 1) {
+      util::parallel_for(count, grain_, rescan);
+    } else {
+      for (std::size_t k = 0; k < chunks; ++k) {
+        rescan(k * grain_, std::min((k + 1) * grain_, count));
+      }
+    }
+    // Merge the chunk minima. Min is order-independent, so the grain only
+    // matters for fan-out; kMergeGrain keeps small merges sequential.
+    constexpr std::size_t kMergeGrain = 4096;
+    return util::parallel_reduce(
+        chunks, kMergeGrain, kInf,
+        [&](std::size_t b, std::size_t e) {
+          double m = kInf;
+          for (std::size_t k = b; k < e; ++k) {
+            m = chunk_min_[k] < m ? chunk_min_[k] : m;
+          }
+          return m;
+        },
+        [](double a, double b) { return b < a ? b : a; });
+  }
+
+ private:
+  const double* remaining_ = nullptr;
+  const double* rate_ = nullptr;
+  std::size_t grain_ = kDefaultGrain;
+  std::vector<double> chunk_min_;
+  std::vector<std::uint8_t> dirty_;
+  std::size_t valid_count_ = 0;
+};
+
+}  // namespace ccf::net

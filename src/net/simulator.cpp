@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
+#include "net/next_event.hpp"
+#include "util/arena.hpp"
+#include "util/calendar.hpp"
 #include "util/parallel.hpp"
 
 namespace ccf::net {
@@ -15,10 +17,11 @@ namespace {
 /// stride; see util::parallel_for's chunk-boundary guarantee).
 constexpr std::size_t kAdvanceGrain = 2048;
 
-/// Per-chunk accumulator for the parallel advance. `delta` keeps an all-zero
-/// invariant between events (the merge clears exactly the touched entries).
+/// Per-chunk accumulator for the parallel advance. `delta` is an arena-backed
+/// per-coflow array that keeps an all-zero invariant between events (the
+/// merge clears exactly the touched entries).
 struct ChunkScratch {
-  std::vector<double> delta;           ///< per-coflow bytes moved this epoch
+  double* delta = nullptr;             ///< per-coflow bytes moved this epoch
   std::vector<std::uint32_t> touched;  ///< coflows with delta != 0
   double total = 0.0;                  ///< bytes moved by this chunk
   bool completed = false;              ///< some flow in the chunk finished
@@ -60,6 +63,22 @@ Simulator::Simulator(std::shared_ptr<const Network> network,
   if (!allocator_) throw std::invalid_argument("Simulator: null allocator");
 }
 
+void Simulator::push_normalized(std::string name, double arrival,
+                                double deadline_rel, std::vector<Flow> flows) {
+  NormalizedCoflow nc;
+  nc.name = std::move(name);
+  nc.arrival = arrival;
+  nc.deadline = deadline_rel > 0.0 ? arrival + deadline_rel : 0.0;
+  const auto id = static_cast<std::uint32_t>(coflows_.size());
+  for (Flow& f : flows) {
+    f.coflow = id;
+    nc.bytes_total += f.volume;
+  }
+  total_flows_ += flows.size();
+  nc.flows = std::move(flows);
+  coflows_.push_back(std::move(nc));
+}
+
 void Simulator::add_coflow(CoflowSpec spec) {
   if (ran_) throw std::logic_error("Simulator: add_coflow after run()");
   if (spec.flows.nodes() != network_->nodes()) {
@@ -85,7 +104,53 @@ void Simulator::add_coflow(CoflowSpec spec) {
       }
     }
   }
-  specs_.push_back(std::move(spec));
+  std::vector<Flow> fs = spec.flows.to_flows(config_.completion_epsilon);
+  for (Flow& f : fs) {
+    f.start = spec.arrival;
+    if (spec.start_offsets) {
+      f.start += spec.start_offsets->volume(f.src, f.dst);
+    }
+  }
+  push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
+                  std::move(fs));
+}
+
+void Simulator::add_coflow(SparseCoflowSpec spec) {
+  if (ran_) throw std::logic_error("Simulator: add_coflow after run()");
+  if (spec.arrival < 0.0 || !std::isfinite(spec.arrival)) {
+    throw std::invalid_argument("Simulator: invalid arrival time");
+  }
+  if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
+    throw std::invalid_argument("Simulator: invalid deadline");
+  }
+  const std::size_t nn = network_->nodes();
+  std::vector<Flow> fs;
+  fs.reserve(spec.flows.size());
+  for (const Flow& f : spec.flows) {
+    if (f.src >= nn || f.dst >= nn) {
+      throw std::invalid_argument("Simulator: flow endpoint outside fabric");
+    }
+    if (f.src == f.dst) {
+      throw std::invalid_argument(
+          "Simulator: flow src == dst (local moves carry no traffic)");
+    }
+    if (f.volume < 0.0 || !std::isfinite(f.volume)) {
+      throw std::invalid_argument("Simulator: invalid flow volume");
+    }
+    if (f.start < 0.0 || !std::isfinite(f.start)) {
+      throw std::invalid_argument("Simulator: invalid flow start offset");
+    }
+    if (f.volume <= config_.completion_epsilon) continue;
+    Flow g;
+    g.src = f.src;
+    g.dst = f.dst;
+    g.volume = f.volume;
+    g.remaining = f.volume;
+    g.start = spec.arrival + f.start;
+    fs.push_back(g);
+  }
+  push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
+                  std::move(fs));
 }
 
 void Simulator::set_faults(FaultSchedule schedule, FaultOptions options) {
@@ -104,26 +169,24 @@ SimReport Simulator::run() {
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Flatten all coflows into one flow array; per-coflow state on the side.
-  std::vector<Flow> flows;
-  std::vector<CoflowState> states(specs_.size());
-  for (std::size_t c = 0; c < specs_.size(); ++c) {
+  // Per-coflow state from the normalized specs, then one flat flow array.
+  // The normalized per-coflow lists are released as they are consumed — at
+  // service scale they would otherwise double the flow footprint.
+  const std::size_t coflow_count = coflows_.size();
+  std::vector<CoflowState> states(coflow_count);
+  for (std::size_t c = 0; c < coflow_count; ++c) {
     CoflowState& st = states[c];
     st.id = static_cast<std::uint32_t>(c);
-    st.arrival = specs_[c].arrival;
-    st.deadline =
-        specs_[c].deadline > 0.0 ? specs_[c].arrival + specs_[c].deadline : 0.0;
-    std::vector<Flow> fs = specs_[c].flows.to_flows(config_.completion_epsilon);
-    for (Flow& f : fs) {
-      f.coflow = st.id;
-      f.start = st.arrival;
-      if (specs_[c].start_offsets) {
-        f.start += specs_[c].start_offsets->volume(f.src, f.dst);
-      }
-      st.bytes_total += f.volume;
-    }
-    st.flows_total = st.flows_active = fs.size();
-    flows.insert(flows.end(), fs.begin(), fs.end());
+    st.arrival = coflows_[c].arrival;
+    st.deadline = coflows_[c].deadline;
+    st.bytes_total = coflows_[c].bytes_total;
+    st.flows_total = st.flows_active = coflows_[c].flows.size();
+  }
+  std::vector<Flow> flows;
+  flows.reserve(total_flows_);
+  for (NormalizedCoflow& nc : coflows_) {
+    flows.insert(flows.end(), nc.flows.begin(), nc.flows.end());
+    std::vector<Flow>().swap(nc.flows);
   }
 
   // Sort flows by activation time so active ones form a prefix; completed
@@ -134,54 +197,85 @@ SimReport Simulator::run() {
   });
 
   SimReport report;
-  report.coflows.resize(specs_.size());
-  report.name_index.reserve(specs_.size());
-  for (std::size_t c = 0; c < specs_.size(); ++c) {
-    report.coflows[c].name = specs_[c].name;
-    report.coflows[c].arrival = specs_[c].arrival;
+  report.coflows.resize(coflow_count);
+  report.name_index.reserve(coflow_count);
+  for (std::size_t c = 0; c < coflow_count; ++c) {
+    report.coflows[c].name = coflows_[c].name;
+    report.coflows[c].arrival = states[c].arrival;
     report.coflows[c].bytes = states[c].bytes_total;
     report.coflows[c].flows = states[c].flows_total;
     report.coflows[c].deadline = states[c].deadline;
-    report.name_index.emplace(specs_[c].name, c);
+    report.name_index.emplace(coflows_[c].name, c);
   }
 
   // Hot per-flow state in SoA columns (remaining/rate drive every event; the
   // cached link spans make L_ij lookups pointer dereferences). The columns
-  // are swapped together, so a flow's fields always share one index.
+  // are swapped together, so a flow's fields always share one index. All of
+  // it — columns, link slab, parallel-advance accumulators — is carved from
+  // one monotonic arena: the caller's (core::Engine resets and recycles it
+  // across drains) or a run-local one.
   const std::size_t n = flows.size();
-  std::vector<std::uint32_t> src(n), dst(n), cof(n), link_len(n);
-  std::vector<double> start(n), remaining(n), rate(n, 0.0);
-  std::vector<const Network::LinkId*> link_ptr(n);
+  util::MonotonicArena local_arena;
+  util::MonotonicArena& arena = config_.arena ? *config_.arena : local_arena;
+
+  std::uint32_t* src = arena.allocate<std::uint32_t>(n);
+  std::uint32_t* dst = arena.allocate<std::uint32_t>(n);
+  std::uint32_t* cof = arena.allocate<std::uint32_t>(n);
+  std::uint32_t* link_len = arena.allocate<std::uint32_t>(n);
+  double* start = arena.allocate<double>(n);
+  double* remaining = arena.allocate<double>(n);
+  double* rate = arena.allocate<double>(n);
+  const Network::LinkId** link_ptr = arena.allocate<const Network::LinkId*>(n);
+  std::fill_n(rate, n, 0.0);
 
   AllocatorContext ctx;
-  ctx.bind(*network_, states.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    src[i] = flows[i].src;
-    dst[i] = flows[i].dst;
-    cof[i] = flows[i].coflow;
-    start[i] = flows[i].start;
-    remaining[i] = flows[i].remaining;
-    // Warm the link table now: hot paths then never mutate it (the spans are
-    // node-stable, so the pointers survive later lookups).
-    const auto links = ctx.links(src[i], dst[i]);
-    link_ptr[i] = links.data();
-    link_len[i] = static_cast<std::uint32_t>(links.size());
+  ctx.bind(*network_, coflow_count);
+
+  // Per-flow link lists live in one contiguous arena slab instead of warming
+  // the context's (src,dst) map: a fabric flow needs exactly two LinkIds, and
+  // at millions of flows the map's node storage dwarfed them. The context's
+  // map stays available for the fault-replacement path, which re-points
+  // individual flows lazily.
+  {
+    std::vector<std::size_t> offs(n);
+    std::vector<Network::LinkId> flat;
+    flat.reserve(2 * n);
+    std::vector<Network::LinkId> route;
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = flows[i].src;
+      dst[i] = flows[i].dst;
+      cof[i] = flows[i].coflow;
+      start[i] = flows[i].start;
+      remaining[i] = flows[i].remaining;
+      route.clear();
+      network_->append_links(src[i], dst[i], route);
+      offs[i] = flat.size();
+      flat.insert(flat.end(), route.begin(), route.end());
+      link_len[i] = static_cast<std::uint32_t>(route.size());
+    }
+    Network::LinkId* slab = arena.allocate<Network::LinkId>(flat.size());
+    std::copy(flat.begin(), flat.end(), slab);
+    for (std::size_t i = 0; i < n; ++i) link_ptr[i] = slab + offs[i];
   }
+  flows.clear();
+  flows.shrink_to_fit();
 
   ActiveFlows view;
-  view.src = src.data();
-  view.dst = dst.data();
-  view.coflow = cof.data();
-  view.remaining = remaining.data();
-  view.rate = rate.data();
-  view.link_ptr = link_ptr.data();
-  view.link_len = link_len.data();
+  view.src = src;
+  view.dst = dst;
+  view.coflow = cof;
+  view.remaining = remaining;
+  view.rate = rate;
+  view.link_ptr = link_ptr;
+  view.link_len = link_len;
 
   // Fault machinery (faults.hpp). Every fault structure and code path below
   // is gated on have_faults, so a run without a schedule executes exactly
   // the pre-fault engine — the empty-schedule bit-identity the property
   // tests assert. Schedule events are resolved to concrete link lists once,
-  // up front; the loop then consumes them with a single cursor.
+  // up front, then dispatched through a calendar queue keyed by event time
+  // (delivery order (time, push order) — identical to the former sorted
+  // cursor's (time, schedule order)).
   const bool have_faults = !faults_.empty();
   struct ResolvedFault {
     double time = 0.0;
@@ -191,12 +285,12 @@ SimReport Simulator::run() {
     std::vector<Network::LinkId> links;
   };
   std::vector<ResolvedFault> resolved_faults;
+  util::CalendarQueue fault_cal;
   std::vector<double> base_cap, current_cap, link_scale;
   std::unique_ptr<FaultedNetworkView> faulted_view;
   // Network the reference engine's per-event AoS rebuild reads capacities
   // from; with faults installed it must see the current (degraded) values.
   const Network* sched_net = network_.get();
-  std::size_t fault_cursor = 0;
   if (have_faults) {
     const std::size_t link_count = network_->link_count();
     base_cap.resize(link_count);
@@ -237,23 +331,46 @@ SimReport Simulator::run() {
                   e.factor <= fault_options_.replace_threshold;
       resolved_faults.push_back(std::move(r));
     }
+    double lo = kInf, hi = -kInf;
+    for (const ResolvedFault& r : resolved_faults) {
+      lo = std::min(lo, r.time);
+      hi = std::max(hi, r.time);
+    }
+    fault_cal.prepare(lo, hi, resolved_faults.size());
+    for (std::size_t i = 0; i < resolved_faults.size(); ++i) {
+      fault_cal.push(resolved_faults[i].time,
+                     static_cast<util::CalendarQueue::Payload>(i));
+    }
   }
 
   const bool incremental = config_.engine == SimEngine::kIncremental;
-  if (config_.record_trace) trace_.reserve(n + specs_.size() + 16);
+  if (config_.record_trace) trace_.reserve(n + coflow_count + 16);
 
-  // Coflow arrival cursor: replaces the per-event O(#coflows) sweep that
-  // flipped `started` and closed zero-flow coflows.
-  std::vector<std::uint32_t> coflow_by_arrival(states.size());
-  std::iota(coflow_by_arrival.begin(), coflow_by_arrival.end(), 0u);
-  std::sort(coflow_by_arrival.begin(), coflow_by_arrival.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              if (states[a].arrival != states[b].arrival) {
-                return states[a].arrival < states[b].arrival;
-              }
-              return a < b;
-            });
-  std::size_t next_coflow = 0;
+  // Epoch ceiling: explicit values are honored exactly; the 0 default scales
+  // with the workload (see SimConfig::max_events).
+  const std::size_t max_events =
+      config_.max_events != 0
+          ? config_.max_events
+          : 1'000'000 + 64 * (n + coflow_count + resolved_faults.size());
+
+  // Coflow arrival dispatch: a calendar queue keyed by arrival time replaces
+  // the per-event O(#coflows) sweep and the sorted-vector cursor that
+  // followed it. Coflows are pushed in id order, so equal-time deliveries
+  // reproduce the former (arrival, id) order exactly.
+  util::CalendarQueue coflow_cal;
+  if (coflow_count > 0) {
+    double lo = kInf, hi = -kInf;
+    for (const CoflowState& st : states) {
+      lo = std::min(lo, st.arrival);
+      hi = std::max(hi, st.arrival);
+    }
+    coflow_cal.prepare(lo, hi, coflow_count);
+    for (std::size_t c = 0; c < coflow_count; ++c) {
+      coflow_cal.push(states[c].arrival,
+                      static_cast<util::CalendarQueue::Payload>(c));
+    }
+  }
+  std::size_t coflows_drained = 0;
 
   double now = 0.0;
   std::size_t next_unarrived = 0;  // flows[next_unarrived..) not yet arrived
@@ -265,6 +382,15 @@ SimReport Simulator::run() {
 
   std::vector<ChunkScratch> chunk_scratch;
   std::vector<Flow> aos;  // reference mode: rebuilt per event (seed shape)
+
+  // Fallback next-event reduction: chunked parallel min over
+  // remaining[i]/rate[i] (next_event.hpp), bit-identical to the scalar scan.
+  // Allocators rewrite every active rate each epoch, so the engine marks the
+  // full active range dirty after allocate(); the scanner's win here is the
+  // parallel rescan and deterministic chunk merge (the clean-chunk fast path
+  // serves callers with sparse updates, e.g. the property suite).
+  NextEventScan next_scan;
+  next_scan.bind(remaining, rate);
 
   // Stable compaction: completed flows leave by shifting the survivors down,
   // so every coflow keeps its members in a stable relative order across
@@ -295,12 +421,11 @@ SimReport Simulator::run() {
       ++active_end;
       ++next_unarrived;
     }
-    // Cursor-based replacement of the zero-flow-coflow sweep. At the first
+    // Calendar-based replacement of the zero-flow-coflow sweep. At the first
     // event with now >= arrival no flow of the coflow can have completed yet,
     // so flows_active == 0 here means the coflow never had network flows.
-    while (next_coflow < coflow_by_arrival.size() &&
-           states[coflow_by_arrival[next_coflow]].arrival <= now) {
-      CoflowState& st = states[coflow_by_arrival[next_coflow]];
+    coflow_cal.pop_due(now, [&](double, util::CalendarQueue::Payload cid) {
+      CoflowState& st = states[cid];
       if (!st.started) {
         st.started = true;
         ctx.touch(st.id);
@@ -311,8 +436,8 @@ SimReport Simulator::run() {
         report.coflows[st.id].completion = st.completion;
         ctx.touch(st.id);
       }
-      ++next_coflow;
-    }
+      ++coflows_drained;
+    });
   };
 
   // Completion bookkeeping plus the stable compaction that keeps surviving
@@ -453,9 +578,8 @@ SimReport Simulator::run() {
   auto apply_faults_due = [&] {
     if (!have_faults) return;
     bool changed = false;
-    while (fault_cursor < resolved_faults.size() &&
-           resolved_faults[fault_cursor].time <= now) {
-      const ResolvedFault& f = resolved_faults[fault_cursor];
+    fault_cal.pop_due(now, [&](double, util::CalendarQueue::Payload fi) {
+      const ResolvedFault& f = resolved_faults[fi];
       for (const auto l : f.links) {
         if (link_scale[l] != f.factor) {
           link_scale[l] = f.factor;
@@ -464,9 +588,8 @@ SimReport Simulator::run() {
         }
       }
       if (f.replace) replace_pending.push_back(f.node);
-      ++fault_cursor;
       ++report.fault_events;
-    }
+    });
     if (changed) {
       ctx.update_capacities(current_cap);
       ctx.reset_caches();
@@ -490,16 +613,20 @@ SimReport Simulator::run() {
       // fault past the last arrival cannot affect anything observable).
       if (next_unarrived >= n) break;
       double t = start[next_unarrived];
-      if (have_faults && fault_cursor < resolved_faults.size()) {
-        t = std::min(t, resolved_faults[fault_cursor].time);
-      }
+      if (have_faults) t = std::min(t, fault_cal.next_time());
       now = t;
       activate_arrivals();
       apply_faults_due();
       continue;
     }
-    if (report.events >= config_.max_events) {
-      throw std::runtime_error("Simulator: max_events exceeded");
+    if (report.events >= max_events) {
+      throw std::runtime_error(
+          "Simulator: max_events exceeded — " + std::to_string(report.events) +
+          " scheduling epochs at t=" + std::to_string(now) + " hit the " +
+          (config_.max_events != 0 ? "configured" : "auto-scaled") +
+          " limit of " + std::to_string(max_events) +
+          "; raise SimConfig.max_events if the workload is genuinely this "
+          "large");
     }
     if (now > config_.max_time) {
       throw std::runtime_error("Simulator: max_time exceeded");
@@ -529,6 +656,8 @@ SimReport Simulator::run() {
       allocator_->allocate(std::span<Flow>(aos), states, *sched_net, now);
       for (std::size_t i = 0; i < active_end; ++i) rate[i] = aos[i].rate;
     }
+    // Every active rate was just rewritten.
+    next_scan.mark_dirty(0, active_end);
 
     // Drop the flows of coflows the allocator just rejected (admission
     // control): they are marked completed-as-rejected at rejection time. The
@@ -557,21 +686,21 @@ SimReport Simulator::run() {
 
     // Next event: earliest flow completion or next coflow arrival. The
     // incremental engine takes the allocator's hint (computed per-flow, so
-    // identical to this scan); the reference engine always scans.
+    // identical to this scan); otherwise the chunked reduction runs — exact
+    // min, bit-identical to the former scalar loop.
     double dt = kInf;
     if (incremental && ctx.min_dt_valid()) {
       dt = ctx.min_dt();
     } else {
-      for (std::size_t idx = 0; idx < active_end; ++idx) {
-        if (rate[idx] > 0.0) dt = std::min(dt, remaining[idx] / rate[idx]);
-      }
+      dt = next_scan.min_dt(active_end, config_.parallel_advance_threshold);
     }
     if (next_unarrived < n) dt = std::min(dt, start[next_unarrived] - now);
-    if (have_faults && fault_cursor < resolved_faults.size()) {
+    if (have_faults) {
       // Never step past a fault epoch: capacities change there. This also
       // keeps a total outage alive — every flow may sit at rate 0 waiting
       // for a scheduled restore, which is progress, not starvation.
-      dt = std::min(dt, resolved_faults[fault_cursor].time - now);
+      // (next_time() is +inf once the schedule is drained.)
+      dt = std::min(dt, fault_cal.next_time() - now);
     }
     if (dt == kInf) {
       throw std::runtime_error(
@@ -584,7 +713,8 @@ SimReport Simulator::run() {
     // flow); otherwise the loop would spin at this timestamp forever.
     const bool zero_dt = dt == 0.0;
     const std::size_t progress_before =
-        next_unarrived + next_coflow + completed_total + fault_cursor;
+        next_unarrived + coflows_drained + completed_total +
+        report.fault_events;
 
     // Advance the clock and all active flows.
     now += dt;
@@ -592,16 +722,21 @@ SimReport Simulator::run() {
         active_end > kAdvanceGrain) {
       // Phase 1 (parallel): per-flow remaining -= rate*dt plus per-chunk
       // byte accounting. Chunk k owns scratch slot k (deterministic chunk
-      // boundaries), so no cross-thread state is shared.
+      // boundaries), so no cross-thread state is shared. The per-coflow
+      // delta arrays come out of the arena, sequentially, before the fork.
       const std::size_t chunks =
           util::parallel_chunk_count(active_end, kAdvanceGrain);
-      if (chunk_scratch.size() < chunks) chunk_scratch.resize(chunks);
+      if (chunk_scratch.size() < chunks) {
+        const std::size_t old = chunk_scratch.size();
+        chunk_scratch.resize(chunks);
+        for (std::size_t k = old; k < chunks; ++k) {
+          chunk_scratch[k].delta = arena.allocate<double>(coflow_count);
+          std::fill_n(chunk_scratch[k].delta, coflow_count, 0.0);
+        }
+      }
       util::parallel_for(
           active_end, kAdvanceGrain, [&](std::size_t b, std::size_t e) {
             ChunkScratch& cs = chunk_scratch[b / kAdvanceGrain];
-            if (cs.delta.size() < states.size()) {
-              cs.delta.assign(states.size(), 0.0);
-            }
             cs.total = 0.0;
             cs.completed = false;
             for (std::size_t idx = b; idx < e; ++idx) {
@@ -666,8 +801,8 @@ SimReport Simulator::run() {
 
     activate_arrivals();
     apply_faults_due();
-    if (zero_dt && next_unarrived + next_coflow + completed_total +
-                           fault_cursor ==
+    if (zero_dt && next_unarrived + coflows_drained + completed_total +
+                           report.fault_events ==
                        progress_before) {
       throw std::runtime_error(
           "Simulator: no forward progress — allocator \"" +

@@ -37,6 +37,10 @@
 #include "net/flow.hpp"
 #include "net/network.hpp"
 
+namespace ccf::util {
+class MonotonicArena;
+}
+
 namespace ccf::net {
 
 /// Event-engine selection (see the header comment).
@@ -48,10 +52,23 @@ struct SimConfig {
   double completion_epsilon = 1e-6;
   /// Hard ceiling on simulated seconds (guards against starvation bugs).
   double max_time = 1e12;
-  /// Hard ceiling on scheduling epochs.
-  std::size_t max_events = 100'000'000;
+  /// Hard ceiling on scheduling epochs. 0 (the default) scales the limit to
+  /// the workload: 1,000,000 + 64 x (flows + coflows + fault events), far
+  /// above what any terminating run produces (each epoch consumes a
+  /// completion, arrival or fault) yet still finite, so runaway allocators
+  /// fail fast at 100 racks and at 10,000 alike. Set a concrete value to
+  /// pin the limit exactly.
+  std::size_t max_events = 0;
   /// Record a TraceEvent per epoch (costs memory on big runs).
   bool record_trace = false;
+  /// Optional bump allocator for the engine's per-run scratch (SoA flow
+  /// columns, per-flow link tables, parallel-advance accumulators). When
+  /// set, run() carves everything from it and frees nothing: a caller that
+  /// runs simulations back to back (e.g. core::Engine's drain loop) resets
+  /// the arena between runs and recycles the blocks, eliminating
+  /// steady-state malloc traffic. When null, run() uses a private arena
+  /// with the same lifetime as the call. The arena must outlive run().
+  util::MonotonicArena* arena = nullptr;
   /// Which event engine to run (kReference exists for equivalence testing).
   SimEngine engine = SimEngine::kIncremental;
   /// Advance the flows of an epoch via util::parallel_for when at least this
@@ -122,6 +139,13 @@ class Simulator {
   /// Must be called before run().
   void add_coflow(CoflowSpec spec);
 
+  /// Sparse overload for large fabrics: an explicit flow list instead of an
+  /// n x n matrix (see SparseCoflowSpec). Flow::start is the activation
+  /// offset relative to the coflow's arrival; entries at or below
+  /// completion_epsilon bytes are dropped, like the matrix path's. Both
+  /// overloads may be mixed freely before run().
+  void add_coflow(SparseCoflowSpec spec);
+
   /// Install a fault schedule (validated against the network) consumed by
   /// run() as first-class events: at each fault time the affected link
   /// capacities are rescaled and the allocator's capacity-derived caches
@@ -140,10 +164,26 @@ class Simulator {
   const RateAllocator& allocator() const noexcept { return *allocator_; }
 
  private:
+  /// Both add_coflow overloads normalize into this form at add time: flows
+  /// carry their absolute start time, owning coflow id and remaining volume,
+  /// so run() only concatenates and sorts. Dense specs are flattened
+  /// immediately, which also releases their n x n matrices before run().
+  struct NormalizedCoflow {
+    std::string name;
+    double arrival = 0.0;
+    double deadline = 0.0;  ///< absolute; 0 = none
+    double bytes_total = 0.0;
+    std::vector<Flow> flows;
+  };
+
+  void push_normalized(std::string name, double arrival, double deadline_rel,
+                       std::vector<Flow> flows);
+
   std::shared_ptr<const Network> network_;
   std::unique_ptr<RateAllocator> allocator_;
   SimConfig config_;
-  std::vector<CoflowSpec> specs_;
+  std::vector<NormalizedCoflow> coflows_;
+  std::size_t total_flows_ = 0;
   std::vector<TraceEvent> trace_;
   FaultSchedule faults_;
   FaultOptions fault_options_;

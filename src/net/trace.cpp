@@ -117,6 +117,29 @@ std::vector<CoflowSpec> to_coflow_specs(const CoflowTrace& trace) {
   return specs;
 }
 
+std::vector<SparseCoflowSpec> to_sparse_coflow_specs(const CoflowTrace& trace) {
+  std::vector<SparseCoflowSpec> specs;
+  specs.reserve(trace.coflows.size());
+  for (const TraceCoflow& c : trace.coflows) {
+    std::vector<Flow> flows;
+    flows.reserve(c.mappers.size() * c.reducers.size());
+    const double mapper_share = 1.0 / static_cast<double>(c.mappers.size());
+    for (const auto& [reducer, mb] : c.reducers) {
+      const double per_mapper = mb * 1e6 * mapper_share;
+      for (const auto mapper : c.mappers) {
+        if (mapper == reducer) continue;
+        Flow f;
+        f.src = mapper;
+        f.dst = reducer;
+        f.volume = per_mapper;
+        flows.push_back(f);
+      }
+    }
+    specs.emplace_back(c.id, c.arrival_seconds, std::move(flows));
+  }
+  return specs;
+}
+
 CoflowTrace generate_synthetic_trace(const SyntheticTraceOptions& options,
                                      util::Pcg32& rng) {
   if (options.racks == 0) {

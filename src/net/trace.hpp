@@ -55,6 +55,15 @@ void write_coflow_trace(const CoflowTrace& trace, std::ostream& out);
 /// (m -> r) volume = reducer_MB * 1e6 / numMappers for m != r.
 std::vector<CoflowSpec> to_coflow_specs(const CoflowTrace& trace);
 
+/// Sparse conversion for large fabrics: the same flows as to_coflow_specs
+/// but as explicit flow lists, never materializing a racks x racks matrix
+/// (which is ~50 MB per coflow at 2,500 racks). Feed the result to
+/// Simulator::add_coflow(SparseCoflowSpec). Flows are emitted reducer-major
+/// (each reducer's mappers in mapper-list order); duplicate (m, r) pairs —
+/// possible when a trace repeats a reducer rack — stay separate flows
+/// instead of being summed, so flow counts can differ from the dense path.
+std::vector<SparseCoflowSpec> to_sparse_coflow_specs(const CoflowTrace& trace);
+
 /// Knobs for the synthetic generator.
 struct SyntheticTraceOptions {
   std::size_t racks = 50;

@@ -1,6 +1,7 @@
 #include "opt/local_search.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -203,15 +204,30 @@ GraspResult grasp(const AssignmentProblem& problem, GraspOptions options) {
       },
       options.threads);
 
-  // Index-order reduction keeps the result independent of thread count.
+  // Argmin over the starts via the shared chunked reduction. Chunks combine
+  // in ascending index order and ties keep the earlier start (strict <), so
+  // the winner is independent of thread count.
+  struct BestStart {
+    double T = std::numeric_limits<double>::infinity();
+    std::size_t s = 0;
+  };
+  const BestStart best = util::parallel_reduce(
+      starts, /*grain=*/64, BestStart{},
+      [&](std::size_t b, std::size_t e) {
+        BestStart acc;
+        for (std::size_t s = b; s < e; ++s) {
+          if (runs[s].T < acc.T) acc = BestStart{runs[s].T, s};
+        }
+        return acc;
+      },
+      [](BestStart a, BestStart b) { return b.T < a.T ? b : a; },
+      options.threads);
+
   GraspResult result;
   result.starts = starts;
-  result.best_start = 0;
-  for (std::size_t s = 1; s < starts; ++s) {
-    if (runs[s].T < runs[result.best_start].T) result.best_start = s;
-  }
-  result.dest = std::move(runs[result.best_start].dest);
-  result.T = runs[result.best_start].T;
+  result.best_start = best.s;
+  result.dest = std::move(runs[best.s].dest);
+  result.T = runs[best.s].T;
   return result;
 }
 

@@ -1,0 +1,105 @@
+// Monotonic bump allocator for per-epoch scratch (R.5: prefer scoped
+// ownership; here the scope is an explicit reset boundary). The simulator
+// carves its SoA flow columns and per-flow link tables out of one of these
+// at the start of every run; the multi-query engine owns a single arena and
+// resets it at each drain boundary, so steady-state drains perform no
+// malloc/free traffic for simulator scratch at all — the blocks allocated by
+// the first drain are recycled verbatim by every later one.
+//
+// Not thread-safe: one arena belongs to one simulator run at a time.
+// Allocations are never individually freed; reset() recycles everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace ccf::util {
+
+class MonotonicArena {
+ public:
+  /// `block_bytes` is the granularity of the backing blocks; requests larger
+  /// than it get a dedicated block of exactly the requested size.
+  explicit MonotonicArena(std::size_t block_bytes = 1 << 20)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Raw storage, aligned to `align` (power of two, at most
+  /// alignof(std::max_align_t)). Contents are indeterminate — callers that
+  /// need zeroed memory fill it themselves.
+  void* allocate_bytes(std::size_t bytes,
+                       std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (current_ >= blocks_.size() || offset + bytes > blocks_[current_].size) {
+      next_block(bytes, align);
+      offset = 0;  // fresh blocks are max_align_t-aligned
+    }
+    cursor_ = offset + bytes;
+    return blocks_[current_].data.get() + offset;
+  }
+
+  /// Uninitialized array of `count` trivially-destructible T. The arena never
+  /// runs destructors, so non-trivial types are rejected at compile time.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "MonotonicArena never runs destructors");
+    return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycle every allocation while keeping the backing blocks: subsequent
+  /// allocations reuse them front to back. Pointers handed out before the
+  /// reset are invalidated.
+  void reset() noexcept {
+    current_ = 0;
+    cursor_ = 0;
+  }
+
+  /// Release the backing blocks themselves (reset() plus free).
+  void release() noexcept {
+    blocks_.clear();
+    reset();
+  }
+
+  /// Total bytes of backing storage currently owned (diagnostics/tests).
+  std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Advance to the next block able to hold `bytes` (skipping kept blocks
+  /// that are too small), allocating one when none exists.
+  void next_block(std::size_t bytes, std::size_t align) {
+    if (align > alignof(std::max_align_t)) {
+      throw std::bad_alloc();  // over-aligned requests are not supported
+    }
+    std::size_t k = (current_ >= blocks_.size()) ? 0 : current_ + 1;
+    while (k < blocks_.size() && blocks_[k].size < bytes) ++k;
+    if (k == blocks_.size()) {
+      const std::size_t size = bytes > block_bytes_ ? bytes : block_bytes_;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    }
+    current_ = k;
+    cursor_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // index of the block cursor_ points into
+  std::size_t cursor_ = 0;   // bytes used in blocks_[current_]
+};
+
+}  // namespace ccf::util

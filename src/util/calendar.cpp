@@ -1,0 +1,94 @@
+#include "util/calendar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccf::util {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void CalendarQueue::prepare(double origin, double horizon,
+                            std::size_t expected_events) {
+  if (pending_ != 0) {
+    throw std::logic_error("CalendarQueue::prepare: queue not empty");
+  }
+  // Aim for O(1) expected occupancy per bucket; clamp so degenerate inputs
+  // (zero span, NaN, tiny event counts) fall back to a single bucket.
+  std::size_t count = expected_events > 1 ? expected_events : 1;
+  const double span = horizon - origin;
+  if (!(span > 0.0) || !std::isfinite(span)) count = 1;
+  buckets_.assign(count, {});
+  origin_ = origin;
+  inv_width_ = count > 1 ? static_cast<double>(count) / span : 0.0;
+  cur_ = 0;
+  pos_ = 0;
+  cur_sorted_ = true;
+}
+
+std::size_t CalendarQueue::bucket_of(double time) const noexcept {
+  if (inv_width_ == 0.0) return 0;
+  const double rel = (time - origin_) * inv_width_;
+  if (!(rel > 0.0)) return 0;  // below origin or NaN -> first bucket
+  const std::size_t last = buckets_.size() - 1;
+  const std::size_t b = rel >= static_cast<double>(last)
+                            ? last
+                            : static_cast<std::size_t>(rel);
+  return b;
+}
+
+void CalendarQueue::push(double time, Payload payload) {
+  std::size_t b = bucket_of(time);
+  const Event ev{time, next_seq_++, payload};
+  if (b < cur_) b = cur_;  // past-time push: deliver on the next pop_due
+  auto& bucket = buckets_[b];
+  if (b == cur_ && cur_sorted_) {
+    // Sorted insert into the undrained tail so the in-progress drain stays
+    // ordered. Events before the drain position go right at it.
+    auto it = std::lower_bound(
+        bucket.begin() + static_cast<std::ptrdiff_t>(pos_), bucket.end(), ev,
+        [](const Event& a, const Event& x) {
+          return a.time < x.time || (a.time == x.time && a.seq < x.seq);
+        });
+    bucket.insert(it, ev);
+  } else {
+    bucket.push_back(ev);
+  }
+  ++pending_;
+}
+
+bool CalendarQueue::advance() {
+  for (;;) {
+    auto& bucket = buckets_[cur_];
+    if (pos_ < bucket.size()) {
+      if (!cur_sorted_) {
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const Event& a, const Event& b) {
+                    return a.time < b.time ||
+                           (a.time == b.time && a.seq < b.seq);
+                  });
+        cur_sorted_ = true;
+      }
+      return true;
+    }
+    // Exhausted: reclaim the storage and move on (empty is trivially
+    // sorted, keeping a later push into this bucket well-defined).
+    bucket.clear();
+    pos_ = 0;
+    cur_sorted_ = true;
+    if (cur_ + 1 >= buckets_.size()) return false;
+    ++cur_;
+    cur_sorted_ = false;
+  }
+}
+
+double CalendarQueue::next_time() {
+  if (pending_ == 0 || !advance()) return kInf;
+  return buckets_[cur_][pos_].time;
+}
+
+}  // namespace ccf::util

@@ -1,11 +1,11 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
-#include <vector>
 
 namespace ccf::util {
 
@@ -56,20 +56,21 @@ void drain(std::size_t units, std::size_t threads, const Run& run) {
 
 }  // namespace
 
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads) {
+namespace detail {
+
+void parallel_indices(std::size_t count, IndexFn fn, void* ctx,
+                      std::size_t threads) {
   if (count == 0) return;
   threads = resolve_threads(threads, count);
   if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
     return;
   }
-  drain(count, threads, fn);
+  drain(count, threads, [&](std::size_t i) { fn(ctx, i); });
 }
 
-void parallel_for(std::size_t count, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn,
-                  std::size_t threads) {
+void parallel_ranges(std::size_t count, std::size_t grain, RangeFn fn,
+                     void* ctx, std::size_t threads) {
   if (grain == 0) {
     throw std::invalid_argument("parallel_for: grain must be positive");
   }
@@ -78,7 +79,7 @@ void parallel_for(std::size_t count, std::size_t grain,
   threads = resolve_threads(threads, chunks);
   auto run_chunk = [&](std::size_t k) {
     const std::size_t begin = k * grain;
-    fn(begin, std::min(begin + grain, count));
+    fn(ctx, begin, std::min(begin + grain, count));
   };
   if (threads == 1) {
     for (std::size_t k = 0; k < chunks; ++k) run_chunk(k);
@@ -86,5 +87,7 @@ void parallel_for(std::size_t count, std::size_t grain,
   }
   drain(chunks, threads, run_chunk);
 }
+
+}  // namespace detail
 
 }  // namespace ccf::util

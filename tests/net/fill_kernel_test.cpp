@@ -1,0 +1,131 @@
+// Pins the vectorized max-min fill bottleneck sweep against the scalar
+// reference kernel: for every allocator, a full simulation run must be
+// bit-identical under either kernel (same epochs, same completion times —
+// the vectorized sweep computes the same shares, picks the same link and
+// freezes in the same order by construction; this suite is the oracle for
+// that claim). Also covers the sparse coflow-spec ingestion path against the
+// dense matrix path on the same trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/allocator.hpp"
+#include "net/fabric.hpp"
+#include "net/simulator.hpp"
+#include "net/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::net {
+namespace {
+
+constexpr std::size_t kRacks = 40;
+
+CoflowTrace make_trace() {
+  SyntheticTraceOptions opt;
+  opt.racks = kRacks;
+  opt.coflows = 36;
+  opt.duration_seconds = 4.0;
+  util::Pcg32 rng(2024, 7);
+  return generate_synthetic_trace(opt, rng);
+}
+
+/// Restores the process-wide kernel selection on scope exit so a failing
+/// assertion cannot leak kScalarReference into other suites.
+class KernelGuard {
+ public:
+  explicit KernelGuard(detail::FillKernel k)
+      : saved_(detail::maxmin_fill_kernel()) {
+    detail::set_maxmin_fill_kernel(k);
+  }
+  ~KernelGuard() { detail::set_maxmin_fill_kernel(saved_); }
+
+ private:
+  detail::FillKernel saved_;
+};
+
+SimReport run_with_kernel(const std::string& allocator,
+                          detail::FillKernel kernel, SimEngine engine) {
+  KernelGuard guard(kernel);
+  SimConfig cfg;
+  cfg.engine = engine;
+  Simulator sim(Fabric(kRacks), make_allocator(allocator), cfg);
+  for (CoflowSpec& spec : to_coflow_specs(make_trace())) {
+    sim.add_coflow(std::move(spec));
+  }
+  return sim.run();
+}
+
+class FillKernelEquivalence
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FillKernelEquivalence, VectorizedMatchesScalarBitForBit) {
+  for (const SimEngine engine :
+       {SimEngine::kIncremental, SimEngine::kReference}) {
+    const SimReport vec =
+        run_with_kernel(GetParam(), detail::FillKernel::kVectorized, engine);
+    const SimReport ref = run_with_kernel(
+        GetParam(), detail::FillKernel::kScalarReference, engine);
+    ASSERT_EQ(vec.events, ref.events);
+    ASSERT_EQ(vec.coflows.size(), ref.coflows.size());
+    EXPECT_EQ(vec.makespan, ref.makespan);
+    EXPECT_EQ(vec.total_bytes, ref.total_bytes);
+    for (std::size_t c = 0; c < vec.coflows.size(); ++c) {
+      EXPECT_EQ(vec.coflows[c].completion, ref.coflows[c].completion)
+          << "coflow " << vec.coflows[c].name;
+      EXPECT_EQ(vec.coflows[c].rejected, ref.coflows[c].rejected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, FillKernelEquivalence,
+                         ::testing::Values("fair", "madd", "varys", "aalo",
+                                           "varys-edf"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+class SparseSpecEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SparseSpecEquivalence, SparseIngestMatchesDense) {
+  // Same trace through both ingestion paths. The flow sets are identical but
+  // their intra-coflow order differs (matrix row-major vs reducer-major), so
+  // per-coflow CCTs agree to accumulated rounding, not bit-for-bit.
+  const CoflowTrace trace = make_trace();
+  SimReport dense, sparse;
+  {
+    Simulator sim(Fabric(kRacks), make_allocator(GetParam()));
+    for (CoflowSpec& spec : to_coflow_specs(trace)) {
+      sim.add_coflow(std::move(spec));
+    }
+    dense = sim.run();
+  }
+  {
+    Simulator sim(Fabric(kRacks), make_allocator(GetParam()));
+    for (SparseCoflowSpec& spec : to_sparse_coflow_specs(trace)) {
+      sim.add_coflow(std::move(spec));
+    }
+    sparse = sim.run();
+  }
+  ASSERT_EQ(sparse.coflows.size(), dense.coflows.size());
+  for (std::size_t c = 0; c < dense.coflows.size(); ++c) {
+    EXPECT_EQ(sparse.coflows[c].flows, dense.coflows[c].flows);
+    // Same volumes summed in a different order: ulp-level divergence only.
+    EXPECT_NEAR(sparse.coflows[c].bytes, dense.coflows[c].bytes,
+                1e-9 * dense.coflows[c].bytes);
+    EXPECT_NEAR(sparse.coflows[c].completion, dense.coflows[c].completion,
+                1e-6 * (1.0 + dense.coflows[c].completion))
+        << "coflow " << dense.coflows[c].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, SparseSpecEquivalence,
+                         ::testing::Values("madd", "varys", "aalo"));
+
+}  // namespace
+}  // namespace ccf::net

@@ -123,5 +123,79 @@ TEST(ParallelForChunked, ZeroCountIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelReduce, SumsMatchSequentialFold) {
+  std::vector<double> v(10'000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto run = [&](std::size_t grain, std::size_t threads) {
+    return parallel_reduce(
+        v.size(), grain, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) s += v[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; }, threads);
+  };
+  // Chunks combine in ascending order, so the result is bit-identical for
+  // any thread count at a fixed grain.
+  const double seq = run(128, 1);
+  EXPECT_EQ(run(128, 2), seq);
+  EXPECT_EQ(run(128, 8), seq);
+  EXPECT_EQ(run(128, 0), seq);
+}
+
+TEST(ParallelReduce, MinWithArgIsExactForAnyGrain) {
+  // Min over doubles is order-independent, so even the grain must not change
+  // the result; the (value, index) combine keeps the smallest index on ties.
+  std::vector<double> v(5'000, 7.0);
+  v[1234] = 1.5;
+  v[4321] = 1.5;
+  struct Best {
+    double val = 1e300;
+    std::size_t idx = 0;
+  };
+  for (const std::size_t grain : {1UL, 13UL, 512UL, 10'000UL}) {
+    const Best best = parallel_reduce(
+        v.size(), grain, Best{},
+        [&](std::size_t b, std::size_t e) {
+          Best acc;
+          for (std::size_t i = b; i < e; ++i) {
+            if (v[i] < acc.val) acc = Best{v[i], i};
+          }
+          return acc;
+        },
+        [](Best a, Best b) { return b.val < a.val ? b : a; });
+    EXPECT_EQ(best.val, 1.5) << "grain " << grain;
+    EXPECT_EQ(best.idx, 1234u) << "grain " << grain;
+  }
+}
+
+TEST(ParallelReduce, ZeroCountReturnsIdentity) {
+  const int r = parallel_reduce(
+      0, 8, 42, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, 42);
+}
+
+TEST(ParallelReduce, RejectsZeroGrain) {
+  EXPECT_THROW(parallel_reduce(
+                   10, 0, 0.0, [](std::size_t, std::size_t) { return 0.0; },
+                   [](double a, double b) { return a + b; }),
+               std::invalid_argument);
+}
+
+TEST(ParallelReduce, PropagatesExceptions) {
+  EXPECT_THROW(parallel_reduce(
+                   1000, 8, 0.0,
+                   [](std::size_t b, std::size_t) -> double {
+                     if (b == 64) throw std::runtime_error("boom");
+                     return 0.0;
+                   },
+                   [](double a, double b) { return a + b; }),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ccf::util
