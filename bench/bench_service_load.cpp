@@ -1,0 +1,300 @@
+// Sustained-load harness for the always-on scheduling service
+// (core::Service): an open-arrival client pushes the engine-throughput
+// working set (32 prepared star-schema queries on 16 nodes, CCF placement,
+// MADD inter-coflow scheduling) at a Service as fast as admission allows,
+// and the harness reports end-to-end queries/sec plus submit-to-drain
+// latency percentiles. This is the service counterpart of
+// bench_online_coflows --throughput: that one times a single cold 32-query
+// epoch; this one measures the steady state the Service exists for — small
+// drain batches, plan-cache hits, persistent simulator state — where the
+// per-query cost is an order of magnitude lower.
+//
+// --out updates the "service_throughput" entry (and the per-shard
+// "service_shard_sweep" rows) inside BENCH_sim.json's results array;
+// --smoke re-measures the shards=1 point and fails when throughput drops
+// below half the checked-in baseline (wired up as `perf_smoke_service`).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service.hpp"
+#include "data/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::size_t kNodes = 16;
+constexpr std::size_t kWorkingSet = 32;
+
+// The same star-schema stream as bench_online_coflows: the first query is
+// the big fact join, the rest shrink.
+std::vector<std::shared_ptr<const ccf::data::Workload>> make_workloads(
+    std::uint64_t seed) {
+  std::vector<std::shared_ptr<const ccf::data::Workload>> workloads;
+  workloads.reserve(kWorkingSet);
+  for (std::size_t i = 0; i < kWorkingSet; ++i) {
+    ccf::data::WorkloadSpec spec =
+        ccf::data::WorkloadSpec::paper_default(kNodes);
+    const double shrink = i == 0 ? 1.0 : 0.25 / static_cast<double>(i);
+    spec.customer_bytes *= 0.1 * shrink;
+    spec.orders_bytes *= 0.1 * shrink;
+    spec.seed = seed + i;
+    workloads.push_back(std::make_shared<const ccf::data::Workload>(
+        ccf::data::generate_workload(spec)));
+  }
+  return workloads;
+}
+
+struct LoadResult {
+  std::size_t shards = 0;
+  std::size_t queries = 0;
+  double elapsed_s = 0.0;
+  double queries_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t epochs = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+LoadResult run_load(std::size_t shards, std::size_t total_queries,
+                    std::size_t max_batch, std::uint64_t seed) {
+  const auto workloads = make_workloads(seed);
+
+  ccf::core::ServiceOptions options;
+  options.engine.nodes = kNodes;
+  options.engine.allocator = "madd";
+  options.shards = shards;
+  options.max_batch = max_batch;
+  options.max_wait = std::chrono::microseconds(200);
+  options.queue_capacity = 1024;
+  for (std::size_t t = 0; t < shards; ++t) {
+    ccf::core::TenantSpec tenant;
+    tenant.name = "t" + std::to_string(t);
+    options.tenants.push_back(std::move(tenant));  // round-robin onto shard t
+  }
+
+  // Submit-to-drain latency, recorded on the epoch callback (driver
+  // threads). One slot vector per shard: one driver each, so no locking.
+  std::vector<std::vector<double>> latency_ms(shards);
+  for (auto& v : latency_ms) v.reserve(total_queries / shards + max_batch);
+  const auto on_epoch = [&](const ccf::core::ShardEpoch& epoch) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const ccf::core::ServiceQuery& q : epoch.queries) {
+      latency_ms[epoch.shard].push_back(
+          std::chrono::duration<double, std::milli>(now - q.submitted)
+              .count());
+    }
+  };
+
+  ccf::core::Service service(options, on_epoch);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t submitted = 0;
+  while (submitted < total_queries) {
+    ccf::core::QuerySpec spec("q", workloads[submitted % kWorkingSet], "ccf");
+    const ccf::core::SubmitResult r =
+        service.submit(submitted % shards, std::move(spec));
+    if (r.accepted()) {
+      ++submitted;
+    } else if (r.status == ccf::core::SubmitStatus::kQueueFull) {
+      std::this_thread::yield();  // backpressure: let the drivers drain
+    } else {
+      std::cerr << "service-load: unexpected submit status\n";
+      std::exit(1);
+    }
+  }
+  service.flush();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const ccf::core::ServiceStats stats = service.stats();
+  service.stop();
+
+  if (stats.completed != total_queries) {
+    std::cerr << "service-load: completed " << stats.completed << " of "
+              << total_queries << "\n";
+    std::exit(1);
+  }
+
+  std::vector<double> all;
+  all.reserve(total_queries);
+  for (const auto& v : latency_ms) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  LoadResult result;
+  result.shards = shards;
+  result.queries = total_queries;
+  result.elapsed_s = elapsed.count();
+  result.queries_per_sec =
+      static_cast<double>(total_queries) / elapsed.count();
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.epochs = stats.epochs;
+  return result;
+}
+
+std::string sweep_json(const LoadResult& r) {
+  std::ostringstream line;
+  line << "{\"bench\": \"service_shard_sweep\", \"shards\": " << r.shards
+       << ", \"queries\": " << r.queries
+       << ", \"queries_per_sec\": " << r.queries_per_sec
+       << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms << "}";
+  return line.str();
+}
+
+std::string throughput_json(const LoadResult& r, std::size_t max_batch) {
+  std::ostringstream line;
+  line << "{\"bench\": \"service_throughput\", \"queries\": " << r.queries
+       << ", \"nodes\": " << kNodes << ", \"shards\": " << r.shards
+       << ", \"max_batch\": " << max_batch
+       << ", \"scheduler\": \"ccf\", \"queries_per_sec\": "
+       << r.queries_per_sec << ", \"p50_ms\": " << r.p50_ms
+       << ", \"p99_ms\": " << r.p99_ms << "}";
+  return line.str();
+}
+
+double json_number(const std::string& line, const std::string& key) {
+  const auto p = line.find("\"" + key + "\"");
+  if (p == std::string::npos) return std::nan("");
+  try {
+    return std::stod(line.substr(line.find(':', p) + 1));
+  } catch (...) {
+    return std::nan("");
+  }
+}
+
+double load_baseline_qps(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"service_throughput\"") == std::string::npos) continue;
+    return json_number(line, "queries_per_sec");
+  }
+  return std::nan("");
+}
+
+/// Replace every service_* entry inside the baseline's results array.
+int update_baseline(const std::string& path,
+                    const std::vector<std::string>& entries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "service-load: cannot read " << path << "\n";
+    return 1;
+  }
+  std::vector<std::string> lines;
+  bool inserted = false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"service_throughput\"") != std::string::npos ||
+        line.find("\"service_shard_sweep\"") != std::string::npos) {
+      continue;
+    }
+    lines.push_back(line);
+    if (!inserted && line.find("\"results\"") != std::string::npos) {
+      for (const std::string& entry : entries) {
+        lines.push_back("    " + entry + ",");
+      }
+      inserted = true;
+    }
+  }
+  in.close();
+  if (!inserted) {
+    std::cerr << "service-load: no results array in " << path << "\n";
+    return 1;
+  }
+  std::ofstream out(path);
+  for (const auto& line : lines) out << line << "\n";
+  std::cout << "updated service entries in " << path << "\n";
+  return 0;
+}
+
+void print_table(const std::vector<LoadResult>& rows) {
+  ccf::util::Table t(
+      {"shards", "queries", "queries/sec", "p50 ms", "p99 ms", "epochs"});
+  for (const LoadResult& r : rows) {
+    std::ostringstream qps, p50, p99;
+    qps.precision(0);
+    qps << std::fixed << r.queries_per_sec;
+    p50.precision(2);
+    p50 << std::fixed << r.p50_ms;
+    p99.precision(2);
+    p99 << std::fixed << r.p99_ms;
+    t.add_row({std::to_string(r.shards), std::to_string(r.queries),
+               qps.str(), p50.str(), p99.str(), std::to_string(r.epochs)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args("bench_service_load",
+                            "Sustained open-arrival load on core::Service");
+  args.add_flag("queries", "100000", "total queries to push through");
+  args.add_flag("batch", "2", "Service max_batch (drain batch size)");
+  args.add_flag("seed", "300", "workload rng seed");
+  args.add_flag("sweep", "false", "also measure shards = 2 and 4");
+  args.add_flag("smoke", "false",
+                "regression check of shards=1 against --baseline");
+  args.add_flag("baseline", "BENCH_sim.json",
+                "baseline JSON for --smoke comparisons");
+  args.add_flag("out", "", "update this baseline JSON");
+  args.parse(argc, argv);
+
+  const auto total = static_cast<std::size_t>(args.get_int("queries"));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  if (args.provided("smoke")) {
+    // A shorter run keeps the gate fast; throughput is rate, not volume, so
+    // the comparison is still apples-to-apples.
+    const LoadResult r = run_load(1, std::min<std::size_t>(total, 40000),
+                                  batch, seed);
+    print_table({r});
+    const double base = load_baseline_qps(args.get("baseline"));
+    if (!std::isfinite(base)) {
+      std::cerr << "service-load smoke: no service_throughput baseline in "
+                << args.get("baseline") << "\n";
+      return 1;
+    }
+    if (r.queries_per_sec < 0.5 * base) {
+      std::cerr << "service-load smoke FAILED: " << r.queries_per_sec
+                << " queries/sec vs baseline " << base << " (<0.5x)\n";
+      return 1;
+    }
+    std::cout << "service-load smoke passed (baseline " << base
+              << " queries/sec)\n";
+    return 0;
+  }
+
+  std::vector<LoadResult> rows;
+  rows.push_back(run_load(1, total, batch, seed));
+  if (args.provided("sweep") || !args.get("out").empty()) {
+    rows.push_back(run_load(2, total, batch, seed));
+    rows.push_back(run_load(4, total, batch, seed));
+  }
+  print_table(rows);
+
+  std::vector<std::string> entries;
+  entries.push_back(throughput_json(rows.front(), batch));
+  for (const LoadResult& r : rows) entries.push_back(sweep_json(r));
+  if (!args.get("out").empty()) {
+    return update_baseline(args.get("out"), entries);
+  }
+  std::cout << "\n";
+  for (const std::string& entry : entries) std::cout << entry << "\n";
+  return 0;
+}

@@ -36,9 +36,33 @@ QueryId Engine::submit(QuerySpec spec) {
   ctx.workload = std::move(spec.workload);
   ctx.scheduler_name = std::move(spec.scheduler);
   ctx.skew_handling = spec.skew_handling;
-  // Resolve the placement policy once, here — an unknown name fails the
-  // submission, not the drain N queries later.
-  ctx.scheduler = registry::make_scheduler(ctx.scheduler_name);
+
+  const std::scoped_lock lock(mutex_);
+  const auto it =
+      options_.plan_cache_capacity == 0
+          ? plan_cache_.end()
+          : plan_cache_.find(PlanKey{ctx.workload.get(), ctx.scheduler_name,
+                                     ctx.skew_handling});
+  if (it != plan_cache_.end()) {
+    // Prepared-statement fast path: share the memoized stage products; the
+    // drain skips this context's whole stage graph and registers the coflow
+    // from the normalized flow list. Bit-identical to a recomputation
+    // (deterministic schedulers, same fabric).
+    const PlanEntry& plan = it->second;
+    ctx.plan_flows = plan.flow_list;
+    ctx.traffic_bytes = plan.traffic_bytes;
+    ctx.makespan_bytes = plan.makespan_bytes;
+    ctx.gamma_seconds = plan.gamma_seconds;
+    ctx.flow_count = plan.flow_count;
+    ctx.skew_handled = plan.skew_handled;
+    ctx.plan_cached = true;
+    ++stats_.plan_hits;
+  } else {
+    // Resolve the placement policy once, here — an unknown name fails the
+    // submission, not the drain N queries later.
+    ctx.scheduler = registry::make_scheduler(ctx.scheduler_name);
+    ++stats_.plan_misses;
+  }
   pending_.push_back(std::move(ctx));
   return next_id_++;
 }
@@ -59,21 +83,63 @@ QueryId Engine::submit(std::string name, double arrival,
   ctx.traffic_bytes = flows.traffic();
   ctx.flow_count = flows.flow_count();
   ctx.flows = std::move(flows);
+
+  const std::scoped_lock lock(mutex_);
   pending_.push_back(std::move(ctx));
   return next_id_++;
 }
 
+std::size_t Engine::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_.size();
+}
+
+EngineStats Engine::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::size_t Engine::plan_cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return plan_cache_.size();
+}
+
 EngineReport Engine::drain() {
   EngineReport report;
-  const std::size_t n = pending_.size();
+  drain_into(report);
+  return report;
+}
+
+void Engine::drain_into(EngineReport& report) {
+  report.queries.clear();
+  report.sim = net::SimReport{};
+  report.makespan = 0.0;
+  report.total_traffic_bytes = 0.0;
+  report.schedule_seconds = 0.0;
+
+  // Claim this epoch's batch; submissions racing the drain land in the next
+  // one. The stage fan-out and the simulation run outside the lock. The
+  // batch buffer is a session member (drain is single-consumer), so the swap
+  // also hands pending_ the previous epoch's capacity back — steady-state
+  // drains reallocate neither vector.
+  drain_batch_.clear();
+  {
+    const std::scoped_lock lock(mutex_);
+    drain_batch_.swap(pending_);
+  }
+  std::vector<RunContext>& batch = drain_batch_;
+  const std::size_t n = batch.size();
 
   // Stage fan-out: contexts are independent, so prepare/place/flows for the
   // pending queries run concurrently; slot i holds query i's products, so
-  // the results are in submission order no matter the interleaving.
+  // the results are in submission order no matter the interleaving. Plan-
+  // cache hits skip the graph entirely (their products were copied at
+  // submission).
   util::parallel_for(
       n,
       [&](std::size_t i) {
-        RunContext& ctx = pending_[i];
+        RunContext& ctx = batch[i];
+        if (ctx.plan_cached) return;
         if (!ctx.flows) {
           stage_prepare(ctx);
           stage_place(ctx);
@@ -83,28 +149,64 @@ EngineReport Engine::drain() {
       },
       options_.placement_threads);
 
-  // Coflow registration + the shared epoch simulation. The session arena is
-  // reset at this drain boundary and handed to the simulator, so repeated
-  // drains recycle the first epoch's scratch blocks instead of reallocating.
+  // Memoize the freshly computed plans (before stage_coflow consumes the
+  // flow matrices). Wholesale eviction when full — see EngineOptions.
+  if (options_.plan_cache_capacity > 0) {
+    const std::scoped_lock lock(mutex_);
+    for (const RunContext& ctx : batch) {
+      if (ctx.plan_cached || !ctx.workload || !ctx.flows) continue;
+      if (plan_cache_.size() >= options_.plan_cache_capacity) {
+        plan_cache_.clear();
+      }
+      PlanEntry plan{
+          ctx.workload,
+          std::make_shared<const std::vector<net::Flow>>(
+              ctx.flows->to_flows(options_.sim.completion_epsilon)),
+          ctx.traffic_bytes,
+          ctx.makespan_bytes,
+          ctx.gamma_seconds,
+          ctx.flow_count,
+          ctx.skew_handled};
+      plan_cache_.insert_or_assign(
+          PlanKey{ctx.workload.get(), ctx.scheduler_name, ctx.skew_handling},
+          std::move(plan));
+    }
+  }
+
+  // Coflow registration + the shared epoch simulation. The simulator is the
+  // session's persistent one: reset_epoch() keeps the fabric, the allocator
+  // instance and the arena, and the arena reset at this drain boundary means
+  // repeated drains recycle the first epoch's scratch blocks instead of
+  // reallocating.
   if (options_.simulate && n > 0) {
-    net::SimConfig sim_cfg = options_.sim;
-    if (!sim_cfg.arena) {
-      sim_arena_.reset();
-      sim_cfg.arena = &sim_arena_;
+    if (!sim_) {
+      net::SimConfig sim_cfg = options_.sim;
+      if (!sim_cfg.arena) sim_cfg.arena = &sim_arena_;
+      sim_ = std::make_unique<net::Simulator>(
+          fabric_, registry::make_allocator(options_.allocator), sim_cfg);
+      if (!options_.faults.empty()) {
+        sim_->set_faults(options_.faults, options_.fault_options);
+      }
+    } else {
+      sim_->reset_epoch();
     }
-    net::Simulator sim(fabric_, registry::make_allocator(options_.allocator),
-                       sim_cfg);
-    if (!options_.faults.empty()) {
-      sim.set_faults(options_.faults, options_.fault_options);
+    if (!options_.sim.arena) sim_arena_.reset();
+    for (RunContext& ctx : batch) {
+      if (ctx.plan_flows) {
+        net::SparseCoflowSpec spec(ctx.name, ctx.arrival, *ctx.plan_flows);
+        spec.prenormalized = true;  // memoized to_flows output
+        sim_->add_coflow(std::move(spec));
+      } else {
+        sim_->add_coflow(stage_coflow(ctx));
+      }
     }
-    for (RunContext& ctx : pending_) sim.add_coflow(stage_coflow(ctx));
-    report.sim = sim.run();
+    report.sim = sim_->run();
     report.makespan = report.sim.makespan;
   }
 
   report.queries.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const RunContext& ctx = pending_[i];
+    const RunContext& ctx = batch[i];
     RunReport r;
     r.scheduler = ctx.scheduler_name;
     r.skew_handled = ctx.skew_handled;
@@ -120,13 +222,12 @@ EngineReport Engine::drain() {
     report.queries.push_back(std::move(r));
   }
 
+  const std::scoped_lock lock(mutex_);
   stats_.epochs += 1;
   stats_.queries += n;
   stats_.total_traffic_bytes += report.total_traffic_bytes;
   stats_.schedule_seconds += report.schedule_seconds;
   stats_.sim_events += report.sim.events;
-  pending_.clear();
-  return report;
 }
 
 }  // namespace ccf::core

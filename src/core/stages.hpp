@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/skew_handling.hpp"
 #include "data/workload.hpp"
@@ -60,6 +61,17 @@ struct RunContext {
   double gamma_seconds = 0.0;   ///< analytic single-coflow bound
   std::size_t flow_count = 0;
   bool skew_handled = false;
+  /// Stage products were copied from the Engine's plan cache at submission:
+  /// the stage graph (including metrics) is skipped at drain. The products
+  /// are bit-identical to a recomputation — every registered scheduler is
+  /// deterministic — so only the reported placement wall-clock (0) differs.
+  bool plan_cached = false;
+  /// The memoized normalized flow list (what to_flows would produce from the
+  /// regenerated matrix), shared with the plan-cache entry: cache hits skip
+  /// the dense-matrix copy AND its per-coflow flattening — the drain feeds
+  /// the simulator through the sparse ingestion path instead. Null unless
+  /// plan_cached.
+  std::shared_ptr<const std::vector<net::Flow>> plan_flows;
 };
 
 /// Skew pre-pass: workload -> PreparedInput (partial duplication when

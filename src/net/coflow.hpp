@@ -49,6 +49,14 @@ struct SparseCoflowSpec {
   double arrival = 0.0;
   std::vector<Flow> flows;
   double deadline = 0.0;  ///< seconds after arrival; 0 = none
+  /// The flow list is already in the simulator's normalized shape — every
+  /// entry validated (endpoints in range, src != dst, finite positive
+  /// volume above the completion epsilon) with Flow::start a plain relative
+  /// offset. add_coflow then fixes starts/remaining in place instead of
+  /// revalidating into a fresh vector. For trusted replay callers (the
+  /// Engine's plan cache memoizes to_flows output, which is normalized by
+  /// construction); hand-built lists should leave this false.
+  bool prenormalized = false;
 
   SparseCoflowSpec(std::string coflow_name, double arrival_time,
                    std::vector<Flow> flow_list)

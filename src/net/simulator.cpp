@@ -123,6 +123,19 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
   if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
     throw std::invalid_argument("Simulator: invalid deadline");
   }
+  if (spec.prenormalized) {
+    // Trusted fast path (see SparseCoflowSpec): the list is to_flows output,
+    // so the per-flow checks below can never fire. The in-place fixup is
+    // exactly what the validating loop computes for such a list, so both
+    // paths hand push_normalized identical flows.
+    for (Flow& f : spec.flows) {
+      f.remaining = f.volume;
+      f.start += spec.arrival;
+    }
+    push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
+                    std::move(spec.flows));
+    return;
+  }
   const std::size_t nn = network_->nodes();
   std::vector<Flow> fs;
   fs.reserve(spec.flows.size());
@@ -151,6 +164,13 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
   }
   push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
                   std::move(fs));
+}
+
+void Simulator::reset_epoch() noexcept {
+  coflows_.clear();
+  total_flows_ = 0;
+  trace_.clear();
+  ran_ = false;
 }
 
 void Simulator::set_faults(FaultSchedule schedule, FaultOptions options) {

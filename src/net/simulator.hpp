@@ -156,8 +156,19 @@ class Simulator {
   /// equivalent to never calling set_faults. Must be called before run().
   void set_faults(FaultSchedule schedule, FaultOptions options = {});
 
-  /// Run to completion of all coflows. Can only be called once.
+  /// Run to completion of all coflows. Can only be called once per epoch
+  /// (see reset_epoch for the steady-state reuse path).
   SimReport run();
+
+  /// Epoch-reset fast path for always-on callers (core::Engine's drain
+  /// loop): clear the enqueued coflows and the ran-once latch while keeping
+  /// the network, the allocator instance, the fault schedule and the config
+  /// (including a caller-owned arena) — so a long-lived session runs one
+  /// Simulator object per shard instead of constructing fabric + allocator
+  /// per epoch. Allocator-private caches are keyed on the context
+  /// generation(), which bind() refreshes every run, so a reset-and-rerun
+  /// epoch is bit-identical to one on a freshly constructed Simulator.
+  void reset_epoch() noexcept;
 
   const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
   const Network& network() const noexcept { return *network_; }

@@ -1,0 +1,132 @@
+// Bounded lock-free MPMC queue (Vyukov's array-based design) — the
+// submission fabric of core::Service. Producers are client threads calling
+// Service::submit; the single consumer per shard is its driver thread, but
+// the queue supports many consumers, so shards can be rebalanced or drained
+// from a flush path without changing the structure.
+//
+// Every cell carries a sequence number. A producer claims a cell by CAS on
+// the enqueue cursor and publishes it by writing seq = pos + 1; a consumer
+// claims with CAS on the dequeue cursor and releases with seq = pos +
+// capacity. The cursors are the only contended words; a push/pop is one CAS
+// plus two cell accesses, with no locks anywhere. Capacity is rounded up to
+// a power of two so the ring index is a mask.
+//
+// FIFO per producer: the queue linearizes pushes, and a single consumer
+// observes them in claim order — the property core::Service's determinism
+// replay relies on (one submitting thread => one deterministic batch order).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ccf::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate occupancy (exact when no push/pop is in flight).
+  std::size_t size_approx() const noexcept {
+    const std::size_t e = enqueue_.load(std::memory_order_relaxed);
+    const std::size_t d = dequeue_.load(std::memory_order_relaxed);
+    return e >= d ? e - d : 0;
+  }
+
+  /// Enqueue by move; returns false when the ring is full.
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = enqueue_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // cell still holds an unconsumed value: full
+      } else {
+        pos = enqueue_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeue into `out`; returns false when the ring is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = dequeue_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // cell not yet published: empty
+      } else {
+        pos = dequeue_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Drain up to `max` values into `out` (appended); returns the count.
+  /// The batched form the Service drivers use: one call per pump iteration
+  /// instead of a try_pop per query.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    T value;
+    while (n < max && try_pop(value)) {
+      out.push_back(std::move(value));
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // The cursors sit on their own cache lines so producers and consumers do
+  // not false-share.
+  alignas(64) std::atomic<std::size_t> enqueue_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_{0};
+  alignas(64) std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace ccf::util

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -182,6 +184,41 @@ TEST(EngineConcurrency, ContendingQueriesStretchEachOther) {
     shared_sum += epoch.queries[q].cct_seconds;
   }
   EXPECT_GE(shared_sum, isolated_sum * (1.0 - 1e-6));
+}
+
+TEST(EngineConcurrency, ConcurrentSubmittersLoseNoQueries) {
+  // submit() is advertised thread-safe (core::Service pushes client
+  // submissions at a shard while its driver drains it). Race four
+  // submitters against a draining consumer; every submission must land in
+  // exactly one epoch.
+  EngineOptions opts;
+  opts.nodes = 4;
+  Engine engine(opts);
+  const auto workload =
+      std::make_shared<const data::Workload>(tiny_workload(77));
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 32;
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        engine.submit(QuerySpec("t" + std::to_string(t), workload));
+      }
+    });
+  }
+  std::size_t drained = 0;
+  while (drained < kThreads * kPerThread) {
+    drained += engine.drain().queries.size();
+  }
+  for (std::thread& s : submitters) s.join();
+  drained += engine.drain().queries.size();
+
+  EXPECT_EQ(drained, kThreads * kPerThread);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, kThreads * kPerThread);
+  EXPECT_EQ(stats.plan_hits + stats.plan_misses, kThreads * kPerThread);
+  EXPECT_EQ(engine.pending(), 0u);
 }
 
 // ---------------------------------------------------------------------------

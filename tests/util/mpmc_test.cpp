@@ -1,0 +1,158 @@
+// util::MpmcQueue — the Service's submission fabric. The suite pins the
+// single-threaded ring semantics (FIFO, capacity, batch pop) and races
+// producers/consumers for the lock-free paths; it carries the tsan_smoke
+// label so the sanitizer build exercises the CAS protocol for real.
+#include "util/mpmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ccf::util {
+namespace {
+
+TEST(MpmcQueue, RoundsCapacityToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpmcQueue<int>(64).capacity(), 64u);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  EXPECT_FALSE(q.try_push(99));  // full
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));  // empty
+}
+
+TEST(MpmcQueue, WrapsAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  int v = -1;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(q.try_push(int(round)));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, round);
+  }
+  EXPECT_EQ(q.size_approx(), 0u);
+}
+
+TEST(MpmcQueue, PopBatchDrainsInOrder) {
+  MpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(q.pop_batch(out, 100), 6u);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(MpmcQueue, MovesOwnershipThrough) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(41)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 41);
+}
+
+// Many producers, one consumer: every value arrives exactly once, and each
+// producer's own sequence arrives in order (the property the Service's
+// deterministic replay rests on).
+TEST(MpmcQueue, ManyProducersSingleConsumerDeliversAllInProducerOrder) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 5000;
+  MpmcQueue<std::uint64_t> q(256);
+
+  std::vector<std::uint64_t> got;
+  got.reserve(kProducers * kPerProducer);
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (got.size() < kProducers * kPerProducer) {
+      if (q.try_pop(v)) {
+        got.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  {
+    std::vector<std::jthread> producers;
+    for (std::uint32_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, p] {
+        for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+          std::uint64_t v = (std::uint64_t(p) << 32) | i;
+          while (!q.try_push(std::move(v))) std::this_thread::yield();
+        }
+      });
+    }
+  }
+  consumer.join();
+
+  ASSERT_EQ(got.size(), std::size_t{kProducers} * kPerProducer);
+  std::vector<std::uint32_t> next(kProducers, 0);
+  for (const std::uint64_t v : got) {
+    const auto p = static_cast<std::uint32_t>(v >> 32);
+    const auto i = static_cast<std::uint32_t>(v & 0xffffffffu);
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(i, next[p]) << "producer " << p << " reordered";
+    next[p] = i + 1;
+  }
+}
+
+// Many producers AND many consumers: exactly-once delivery of the multiset.
+TEST(MpmcQueue, ManyProducersManyConsumersDeliverExactlyOnce) {
+  constexpr std::uint32_t kProducers = 3;
+  constexpr std::uint32_t kConsumers = 3;
+  constexpr std::uint32_t kPerProducer = 4000;
+  MpmcQueue<std::uint64_t> q(128);
+
+  std::vector<std::vector<std::uint64_t>> per_consumer(kConsumers);
+  std::atomic<std::uint32_t> remaining{kProducers * kPerProducer};
+  {
+    std::vector<std::jthread> threads;
+    for (std::uint32_t c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&, c] {
+        std::uint64_t v;
+        while (remaining.load(std::memory_order_relaxed) > 0) {
+          if (q.try_pop(v)) {
+            per_consumer[c].push_back(v);
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::uint32_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&q, p] {
+        for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+          std::uint64_t v = (std::uint64_t(p) << 32) | i;
+          while (!q.try_push(std::move(v))) std::this_thread::yield();
+        }
+      });
+    }
+  }
+
+  std::vector<std::uint64_t> all;
+  for (const auto& part : per_consumer) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(all.size(), std::size_t{kProducers} * kPerProducer);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(all[std::size_t{p} * kPerProducer], std::uint64_t(p) << 32);
+  }
+}
+
+}  // namespace
+}  // namespace ccf::util
