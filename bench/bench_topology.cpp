@@ -1,0 +1,257 @@
+// bench_topology — the routing x bandwidth co-optimization sweep over the
+// general topology layer (net/topology.hpp + net::route_joint).
+//
+// Workload: heavy-tailed MapReduce-style shuffles (zipf-distributed reducer
+// shares blown up from group-level fat pairs), the regime where static ECMP
+// hashing collides elephant flows onto the same spine links and routing has
+// real headroom. Each point simulates one shuffle coflow per seed under the
+// MADD allocator on the routed topology and reports the mean CCT per
+// routing policy (ecmp | greedy | joint).
+//
+// Full mode sweeps leaf-spine oversubscription (32 racks x 8 hosts, 4
+// spines), a k=8 fat-tree with an oversubscribed core, and a seeded Waxman
+// irregular topology, then prints BENCH_sim.json rows for the checked-in
+// baseline.
+//
+// --smoke gates the oversubscribed (4:1) leaf-spine point against
+// --baseline BENCH_sim.json: joint must improve the mean CCT over static
+// ECMP by >= 10%, the simulated CCTs must reproduce the checked-in values
+// (determinism guard), and the wall time must stay within 2x of the
+// baseline past a 25 ms noise floor. Wired up as `perf_smoke_topology`.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/multipath.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+constexpr const char* kRoutings[] = {"ecmp", "greedy", "joint"};
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+
+/// Heavy-tailed shuffle on `groups` blocks of `width` hosts: every group
+/// pair draws a fat aggregate volume, split across random host pairs with
+/// zipf shares — a few elephant flows dominate every pair, like a skewed
+/// reducer distribution.
+ccf::net::FlowMatrix heavy_shuffle(std::size_t groups, std::size_t width,
+                                   double host_rate, std::uint64_t seed) {
+  ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 95), 95);
+  const std::size_t nodes = groups * width;
+  ccf::net::FlowMatrix m(nodes);
+  const auto shares = ccf::util::zipf_weights(width, 1.5);
+  for (std::size_t i = 0; i < groups; ++i) {
+    for (std::size_t j = 0; j < groups; ++j) {
+      if (i == j || rng.uniform01() >= 0.3) continue;
+      // Aggregate group-pair volume: 20-120 s of one host port.
+      const double volume = host_rate * rng.uniform(20.0, 120.0);
+      for (std::size_t s = 0; s < width; ++s) {
+        const auto src =
+            i * width + rng.bounded(static_cast<std::uint32_t>(width));
+        const auto dst =
+            j * width + rng.bounded(static_cast<std::uint32_t>(width));
+        if (src != dst) m.add(src, dst, volume * shares[s]);
+      }
+    }
+  }
+  if (m.traffic() <= 0.0) m.set(0, 1, host_rate);
+  return m;
+}
+
+struct RoutingPoint {
+  double mean_cct_s = 0.0;
+  double wall_ms = 0.0;  ///< route choice + simulation, summed over seeds
+};
+
+/// Mean CCT of the shuffle under one routing policy across the seed set.
+RoutingPoint run_point(const std::shared_ptr<const ccf::net::Topology>& topo,
+                       const std::string& routing, std::size_t groups) {
+  const auto policy = ccf::net::make_routing_policy(routing);
+  const std::size_t width = topo->nodes() / groups;
+  RoutingPoint point;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto seed : kSeeds) {
+    const ccf::net::FlowMatrix flows =
+        heavy_shuffle(groups, width, 10.0, seed);
+    ccf::net::Simulator sim(std::make_shared<const ccf::net::RoutedTopology>(
+                                topo, policy->choose(*topo, flows)),
+                            ccf::net::make_allocator("madd"));
+    sim.add_coflow(ccf::net::CoflowSpec("shuffle", 0.0, flows));
+    point.mean_cct_s += sim.run().coflows[0].cct();
+  }
+  point.mean_cct_s /= static_cast<double>(std::size(kSeeds));
+  point.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return point;
+}
+
+constexpr const char* kGatedSpec =
+    "leafspine:racks=32,hosts=8,spines=4,oversub=4";
+
+std::shared_ptr<const ccf::net::Topology> build(const std::string& spec_text) {
+  ccf::net::TopologySpec spec = ccf::net::TopologySpec::parse(spec_text);
+  spec.host_rate = 10.0;  // simulated seconds are rate-relative anyway
+  return ccf::net::make_topology(spec);
+}
+
+/// Shuffle group count per topology: racks for leaf-spine, 8-host blocks
+/// otherwise (the generator only needs *some* block structure).
+std::size_t groups_of(const ccf::net::TopologySpec& spec) {
+  if (spec.kind == ccf::net::TopologyKind::kLeafSpine) return spec.racks;
+  return spec.node_count() / 8;
+}
+
+// --- baseline (BENCH_sim.json) lookup --------------------------------
+
+double json_number(const std::string& line, const std::string& key) {
+  const auto p = line.find("\"" + key + "\"");
+  if (p == std::string::npos) return std::nan("");
+  const auto colon = line.find(':', p);
+  if (colon == std::string::npos) return std::nan("");
+  try {
+    return std::stod(line.substr(colon + 1));
+  } catch (...) {
+    return std::nan("");
+  }
+}
+
+struct BaselineRow {
+  double mean_cct_s = std::nan("");
+  double wall_ms = std::nan("");
+};
+
+BaselineRow load_baseline_row(const std::string& path,
+                              const std::string& topology,
+                              const std::string& routing) {
+  BaselineRow row;
+  std::ifstream in(path);
+  std::string line;
+  while (in && std::getline(in, line)) {
+    if (line.find("\"bench\": \"topology_routing\"") == std::string::npos ||
+        line.find("\"" + topology + "\"") == std::string::npos ||
+        line.find("\"" + routing + "\"") == std::string::npos) {
+      continue;
+    }
+    row.mean_cct_s = json_number(line, "mean_cct_s");
+    row.wall_ms = json_number(line, "wall_ms");
+  }
+  return row;
+}
+
+int run_smoke(const std::string& baseline_path) {
+  const auto topo = build(kGatedSpec);
+  const std::size_t groups = 32;
+  const RoutingPoint ecmp = run_point(topo, "ecmp", groups);
+  const RoutingPoint joint = run_point(topo, "joint", groups);
+  const double improvement = 1.0 - joint.mean_cct_s / ecmp.mean_cct_s;
+
+  bool ok = true;
+  std::cout << "perf-smoke-topology: " << kGatedSpec << "\n"
+            << "  ecmp mean CCT  " << ecmp.mean_cct_s << " s\n"
+            << "  joint mean CCT " << joint.mean_cct_s << " s  ("
+            << ccf::util::format_fixed(improvement * 100.0, 1)
+            << "% better)\n";
+  if (!(improvement >= 0.10)) {
+    std::cerr << "perf-smoke-topology: joint improvement "
+              << improvement * 100.0 << "% is below the 10% gate\n";
+    ok = false;
+  }
+  for (const auto& [routing, point] :
+       {std::pair<std::string, const RoutingPoint&>{"ecmp", ecmp},
+        {"joint", joint}}) {
+    const BaselineRow base =
+        load_baseline_row(baseline_path, kGatedSpec, routing);
+    if (!std::isfinite(base.mean_cct_s)) {
+      std::cout << "  " << routing << ": no baseline row (not fatal)\n";
+      continue;
+    }
+    // Simulated time is deterministic: any drift is a real behavior change.
+    if (std::abs(point.mean_cct_s - base.mean_cct_s) >
+        1e-6 * (1.0 + base.mean_cct_s)) {
+      std::cerr << "perf-smoke-topology: " << routing << " mean CCT "
+                << point.mean_cct_s << " s drifted from checked-in "
+                << base.mean_cct_s << " s\n";
+      ok = false;
+    }
+    if (std::isfinite(base.wall_ms) && point.wall_ms > 2.0 * base.wall_ms &&
+        point.wall_ms - base.wall_ms > 25.0) {
+      std::cerr << "perf-smoke-topology: " << routing << " wall "
+                << point.wall_ms << " ms regressed >2x vs checked-in "
+                << base.wall_ms << " ms\n";
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::cerr << "perf-smoke-topology FAILED vs " << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "perf-smoke-topology passed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccf::util::ArgParser args(
+      "bench_topology",
+      "routing x bandwidth co-optimization across topology families");
+  args.add_flag("smoke", "false",
+                "gate the 4:1 leaf-spine point against --baseline and exit");
+  args.add_flag("baseline", "BENCH_sim.json",
+                "checked-in baseline for --smoke");
+  args.parse(argc, argv);
+
+  if (args.get_bool("smoke")) return run_smoke(args.get("baseline"));
+
+  const std::vector<std::string> specs = {
+      "leafspine:racks=32,hosts=8,spines=4,oversub=1",
+      "leafspine:racks=32,hosts=8,spines=4,oversub=2",
+      kGatedSpec,
+      "leafspine:racks=32,hosts=8,spines=4,oversub=8",
+      "fattree:k=8,core-scale=4",
+      "waxman:nodes=64,routers=12,seed=5,trunk-scale=0.5,paths=4",
+  };
+
+  ccf::util::Table t(
+      {"topology", "routing", "mean CCT", "vs ecmp", "wall ms"});
+  std::ostringstream json;
+  // Enough digits that the smoke mode's determinism check (1e-6 relative)
+  // can reproduce the checked-in CCTs from the printed rows.
+  json << std::setprecision(12);
+  for (const auto& spec_text : specs) {
+    const auto spec = ccf::net::TopologySpec::parse(spec_text);
+    const auto topo = build(spec_text);
+    const std::size_t groups = groups_of(spec);
+    double ecmp_cct = 0.0;
+    for (const char* routing : kRoutings) {
+      const RoutingPoint point = run_point(topo, routing, groups);
+      if (std::string(routing) == "ecmp") ecmp_cct = point.mean_cct_s;
+      t.add_row({spec_text, routing,
+                 ccf::util::format_seconds(point.mean_cct_s),
+                 ccf::util::format_fixed(ecmp_cct / point.mean_cct_s, 2) + "x",
+                 ccf::util::format_fixed(point.wall_ms, 1)});
+      json << "    {\"bench\": \"topology_routing\", \"topology\": \""
+           << spec_text << "\", \"routing\": \"" << routing
+           << "\", \"seeds\": " << std::size(kSeeds)
+           << ", \"mean_cct_s\": " << point.mean_cct_s
+           << ", \"wall_ms\": " << ccf::util::format_fixed(point.wall_ms, 1)
+           << "},\n";
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nBENCH_sim.json rows:\n" << json.str();
+  return 0;
+}

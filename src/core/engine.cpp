@@ -8,14 +8,41 @@
 
 namespace ccf::core {
 
+namespace {
+
+/// Reconcile `nodes` with the topology spec before fabric_ is built: a
+/// topology session may leave nodes at 0 (derived) but must not contradict
+/// the spec's host count.
+EngineOptions normalize_options(EngineOptions options) {
+  if (!options.topology.empty()) {
+    const std::size_t topo_nodes =
+        net::TopologySpec::parse(options.topology).node_count();
+    if (options.nodes == 0) {
+      options.nodes = topo_nodes;
+    } else if (options.nodes != topo_nodes) {
+      throw std::invalid_argument(
+          "Engine: nodes does not match the topology's host count");
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
-    : options_(std::move(options)),
+    : options_(normalize_options(std::move(options))),
       fabric_(options_.nodes > 0
                   ? net::Fabric(options_.nodes, options_.port_rate)
                   : throw std::invalid_argument("Engine: nodes must be > 0")) {
   if (!registry::has_allocator(options_.allocator)) {
     throw std::invalid_argument("Engine: unknown allocator: " +
                                 options_.allocator);
+  }
+  if (!options_.topology.empty()) {
+    net::TopologySpec spec = net::TopologySpec::parse(options_.topology);
+    spec.host_rate = options_.port_rate;
+    topology_ = net::make_topology(spec);
+    routing_ = registry::make_routing(options_.routing);  // throws on unknown
   }
 }
 
@@ -179,16 +206,45 @@ void Engine::drain_into(EngineReport& report) {
   // repeated drains recycle the first epoch's scratch blocks instead of
   // reallocating.
   if (options_.simulate && n > 0) {
+    // Routed-topology sessions re-route every epoch: aggregate the batch's
+    // demand, run the session routing policy over it, and install the
+    // resulting RoutedTopology before coflow registration. Safe mid-session
+    // because the allocator context rebinds (re-resolving every cached link
+    // table) at the start of each run.
+    std::shared_ptr<const net::RoutedTopology> routed;
+    if (topology_) {
+      epoch_demand_.emplace(fabric_.nodes());
+      for (const RunContext& ctx : batch) {
+        if (ctx.plan_flows) {
+          for (const net::Flow& f : *ctx.plan_flows) {
+            epoch_demand_->add(f.src, f.dst, f.volume);
+          }
+        } else if (ctx.flows) {
+          for (std::size_t i = 0; i < fabric_.nodes(); ++i) {
+            for (std::size_t j = 0; j < fabric_.nodes(); ++j) {
+              if (i != j) epoch_demand_->add(i, j, ctx.flows->volume(i, j));
+            }
+          }
+        }
+      }
+      routed = std::make_shared<const net::RoutedTopology>(
+          topology_, routing_->choose(*topology_, *epoch_demand_));
+    }
     if (!sim_) {
       net::SimConfig sim_cfg = options_.sim;
       if (!sim_cfg.arena) sim_cfg.arena = &sim_arena_;
-      sim_ = std::make_unique<net::Simulator>(
-          fabric_, registry::make_allocator(options_.allocator), sim_cfg);
+      std::unique_ptr<net::RateAllocator> allocator =
+          registry::make_allocator(options_.allocator);
+      sim_ = routed ? std::make_unique<net::Simulator>(
+                          routed, std::move(allocator), sim_cfg)
+                    : std::make_unique<net::Simulator>(
+                          fabric_, std::move(allocator), sim_cfg);
       if (!options_.faults.empty()) {
         sim_->set_faults(options_.faults, options_.fault_options);
       }
     } else {
       sim_->reset_epoch();
+      if (routed) sim_->set_network(std::move(routed));
     }
     if (!options_.sim.arena) sim_arena_.reset();
     for (RunContext& ctx : batch) {

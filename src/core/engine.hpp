@@ -55,6 +55,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -66,7 +67,9 @@
 #include "net/fabric.hpp"
 #include "net/faults.hpp"
 #include "net/flow.hpp"
+#include "net/multipath.hpp"
 #include "net/simulator.hpp"
+#include "net/topology.hpp"
 #include "util/arena.hpp"
 
 namespace ccf::core {
@@ -79,6 +82,16 @@ struct EngineOptions {
   double port_rate = net::Fabric::kDefaultPortRate;
   /// Inter-coflow scheduler (registry name: "fair" | "madd" | "varys" | ...).
   std::string allocator = "madd";
+  /// Topology spec for the session network, net::TopologySpec::parse grammar
+  /// (e.g. "leafspine:racks=32,hosts=16,spines=4,oversub=4"). Empty = the
+  /// paper's flat non-blocking fabric. When set, `nodes` may be 0 (derived
+  /// from the topology) or must match its host count; host ports run at
+  /// port_rate. Every drain re-routes the epoch's aggregate demand through
+  /// the routing policy and simulates on the resulting RoutedTopology.
+  std::string topology;
+  /// Route-selection policy on the topology (registry name: "ecmp" |
+  /// "greedy" | "joint"); unused on the flat fabric.
+  std::string routing = "ecmp";
   /// If false, drains skip the event simulation; per-query CCT reports the
   /// analytic Γ (exact for MADD on an idle fabric).
   bool simulate = true;
@@ -181,6 +194,10 @@ class Engine {
   EngineStats stats() const;
   const net::Fabric& fabric() const noexcept { return fabric_; }
   const EngineOptions& options() const noexcept { return options_; }
+  /// The session topology (null on the flat fabric).
+  const std::shared_ptr<const net::Topology>& topology() const noexcept {
+    return topology_;
+  }
 
   /// Bytes of backing storage the session's simulator arena currently owns.
   /// Steady-state epochs must not grow this (pinned by engine_reuse_test).
@@ -227,6 +244,14 @@ class Engine {
 
   EngineOptions options_;
   net::Fabric fabric_;
+  /// Session topology + routing policy (both null/unused on the flat
+  /// fabric). fabric_ stays the analytic-metric surface either way: per-query
+  /// Γ (stage_metrics) is the flat single-switch bound, while the simulation
+  /// runs on the routed topology.
+  std::shared_ptr<const net::Topology> topology_;
+  std::unique_ptr<net::RoutingPolicy> routing_;
+  /// Aggregate demand of the epoch being drained (reused across drains).
+  std::optional<net::FlowMatrix> epoch_demand_;
   /// Guards pending_, next_id_, stats_, and the plan cache. Submissions are
   /// short critical sections; drain holds it only to swap the batch out and
   /// to fold the epoch into stats_/cache — the placement fan-out and the

@@ -32,6 +32,8 @@ RunReport run_pipeline(const data::Workload& workload,
   eopts.simulate = options.simulate;
   eopts.faults = options.faults;
   eopts.fault_options = options.fault_options;
+  eopts.topology = options.topology;
+  eopts.routing = options.routing;
   eopts.placement_threads = 1;  // one query: nothing to fan out
   Engine engine(std::move(eopts));
 

@@ -32,6 +32,12 @@ struct PipelineOptions {
   net::FaultSchedule faults;
   /// Re-placement policy for the injected faults.
   net::FaultOptions fault_options;
+  /// Topology spec (net::TopologySpec::parse grammar); empty = the paper's
+  /// flat non-blocking fabric. Must describe exactly the workload's node
+  /// count. The simulation then runs on the routed topology.
+  std::string topology;
+  /// Route-selection policy on the topology: "ecmp" | "greedy" | "joint".
+  std::string routing = "ecmp";
 
   /// The paper's configuration for one of the three compared systems:
   /// "hash" (no skew handling), "mini"/"ccf" (with skew handling); all on

@@ -29,6 +29,10 @@ constexpr std::array<std::string_view, 5> kAllocatorNames = {
     kAllocators[0].name, kAllocators[1].name, kAllocators[2].name,
     kAllocators[3].name, kAllocators[4].name};
 
+// Must track net::make_routing_policy; registry_test resolves every name.
+constexpr std::array<std::string_view, 3> kRoutings = {"ecmp", "greedy",
+                                                       "joint"};
+
 std::string join_names(std::span<const std::string_view> names) {
   std::string out;
   for (const std::string_view name : names) {
@@ -44,9 +48,13 @@ std::span<const std::string_view> scheduler_names() { return kSchedulers; }
 
 std::span<const std::string_view> allocator_names() { return kAllocatorNames; }
 
+std::span<const std::string_view> routing_names() { return kRoutings; }
+
 std::string scheduler_name_list() { return join_names(kSchedulers); }
 
 std::string allocator_name_list() { return join_names(kAllocatorNames); }
+
+std::string routing_name_list() { return join_names(kRoutings); }
 
 bool has_scheduler(std::string_view name) {
   return std::ranges::find(kSchedulers, name) != kSchedulers.end();
@@ -56,6 +64,10 @@ bool has_allocator(std::string_view name) {
   return std::ranges::find(kAllocatorNames, name) != kAllocatorNames.end();
 }
 
+bool has_routing(std::string_view name) {
+  return std::ranges::find(kRoutings, name) != kRoutings.end();
+}
+
 std::unique_ptr<join::PartitionScheduler> make_scheduler(
     const std::string& name) {
   return join::make_scheduler(name);
@@ -63,6 +75,10 @@ std::unique_ptr<join::PartitionScheduler> make_scheduler(
 
 std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name) {
   return net::make_allocator(name);
+}
+
+std::unique_ptr<net::RoutingPolicy> make_routing(const std::string& name) {
+  return net::make_routing_policy(name);
 }
 
 net::AllocatorKind allocator_kind(const std::string& name) {

@@ -17,6 +17,7 @@
 
 #include "join/schedulers.hpp"
 #include "net/allocator.hpp"
+#include "net/multipath.hpp"
 
 namespace ccf::core::registry {
 
@@ -26,12 +27,18 @@ std::span<const std::string_view> scheduler_names();
 /// Rate-allocator names in canonical order ("fair", "madd", "varys", ...).
 std::span<const std::string_view> allocator_names();
 
+/// Routing-policy names in canonical order ("ecmp", "greedy", "joint") —
+/// the route-selection axis of a topology ablation (net::RoutingPolicy).
+std::span<const std::string_view> routing_names();
+
 /// " | "-joined name list for --help texts, e.g. "hash | mini | ccf | ...".
 std::string scheduler_name_list();
 std::string allocator_name_list();
+std::string routing_name_list();
 
 bool has_scheduler(std::string_view name);
 bool has_allocator(std::string_view name);
+bool has_routing(std::string_view name);
 
 /// Resolve a scheduler / allocator by registered name. Throws
 /// std::invalid_argument on unknown names (same contract as the layer
@@ -39,6 +46,7 @@ bool has_allocator(std::string_view name);
 std::unique_ptr<join::PartitionScheduler> make_scheduler(
     const std::string& name);
 std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name);
+std::unique_ptr<net::RoutingPolicy> make_routing(const std::string& name);
 
 /// Name <-> AllocatorKind mapping (the enum is the compiled-in option
 /// surface; the name is the CLI/config surface). Throw / abort on unknowns.

@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace ccf::net {
@@ -45,6 +46,7 @@ double Fabric::link_capacity(LinkId link) const {
 
 void Fabric::append_links(std::uint32_t src, std::uint32_t dst,
                           std::vector<LinkId>& out) const {
+  assert(src != dst && "Network::append_links requires src != dst");
   out.push_back(src);
   out.push_back(static_cast<LinkId>(nodes() + dst));
 }

@@ -15,14 +15,23 @@
 // routing policies are provided: static ECMP-style hashing (the baseline)
 // and a RAPIER-style greedy that routes heavy flows first onto the least
 // loaded spine.
+//
+// The general-topology routing layer lives below: RoutingPolicy turns a
+// Topology (topology.hpp) plus an aggregate demand matrix into a RouteChoice,
+// and route_joint is the joint routing×bandwidth co-optimizer — it descends
+// on Γ of the routed network, which for a single aggregate coflow is exactly
+// the CCT of the MADD fill (metrics.hpp), by repeatedly moving the heaviest
+// flows off the bottleneck link and re-evaluating the fill.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "net/flow.hpp"
 #include "net/network.hpp"
+#include "net/topology.hpp"
 
 namespace ccf::net {
 
@@ -124,5 +133,52 @@ Routing route_ecmp(const MultiPathFabric& fabric, const FlowMatrix& flows);
 /// utilization. Volume-aware, so heavy flows spread across spines.
 Routing route_least_loaded(const MultiPathFabric& fabric,
                            const FlowMatrix& flows);
+
+// --- general-topology routing (topology.hpp) --------------------------
+
+/// Knobs of the joint routing×bandwidth optimizer.
+struct JointRouteOptions {
+  /// Improvement rounds after the greedy/ECMP warm start.
+  std::size_t max_rounds = 8;
+  /// Flows re-routed off the bottleneck link per round (heaviest first).
+  std::size_t moves_per_round = 16;
+  /// A round must lower Γ by more than this relative amount to be kept.
+  double min_gain = 1e-9;
+};
+
+/// Joint routing×bandwidth co-optimization: start from the better of ECMP
+/// and volume-greedy, then iterate — find the link with the worst
+/// utilization under the current route choice, move the heaviest flows
+/// crossing it onto their least-bottlenecked alternative paths, re-evaluate
+/// the fill (Γ of the routed network = the MADD fill's single-coflow CCT),
+/// and keep the round only if Γ improved. By construction the result is
+/// never worse than static ECMP on the same instance; the routing property
+/// suite pins that invariant.
+RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
+                        const JointRouteOptions& options = {});
+
+/// Γ of a demand matrix on a topology under a route choice: the max over all
+/// links of (bytes routed through the link / link capacity) — the analytic
+/// single-coflow CCT of the routed network, and route_joint's objective.
+double routed_gamma(const Topology& topology, const FlowMatrix& flows,
+                    const RouteChoice& choice);
+
+/// A named RouteChoice producer, so route selection composes with every
+/// scheduler×allocator pair as a one-flag ablation (core::registry lists the
+/// names; Engine/Service and ccf_sim dispatch through it per drain epoch).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Produce the path choice for an aggregate demand matrix ("flows" may be
+  /// all zeros — ECMP ignores it entirely).
+  virtual RouteChoice choose(const Topology& topology,
+                             const FlowMatrix& flows) const = 0;
+};
+
+/// Resolve a routing policy by name: "ecmp" (static hash), "greedy"
+/// (volume-greedy warm start only), or "joint" (route_joint). Throws
+/// std::invalid_argument on unknown names.
+std::unique_ptr<RoutingPolicy> make_routing_policy(std::string_view name);
 
 }  // namespace ccf::net

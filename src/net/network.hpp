@@ -31,7 +31,12 @@ class Network {
   /// > 0; a fault-adjusted view (faults.hpp) may report 0 for a failed link.
   virtual double link_capacity(LinkId link) const = 0;
   /// Append the links flow (src -> dst) traverses (the paper's L_ij).
-  /// Requires src != dst; both < nodes().
+  /// Requires src != dst; both < nodes(). Implementations debug-assert the
+  /// src != dst precondition — a self-flow has no L_ij, and callers
+  /// (simulator, bounds, routing) all filter the diagonal before asking.
+  /// Note the distinct *intra-rack* case src != dst, rack(src) == rack(dst),
+  /// which IS valid and short-circuits the switch layer (rack.cpp,
+  /// multipath.cpp, topology.cpp return just the two host ports).
   virtual void append_links(std::uint32_t src, std::uint32_t dst,
                             std::vector<LinkId>& out) const = 0;
 

@@ -1,5 +1,6 @@
 #include "net/rack.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace ccf::net {
@@ -32,6 +33,7 @@ double RackFabric::link_capacity(LinkId link) const {
 
 void RackFabric::append_links(std::uint32_t src, std::uint32_t dst,
                               std::vector<LinkId>& out) const {
+  assert(src != dst && "Network::append_links requires src != dst");
   out.push_back(egress_link(src));
   const std::size_t rs = rack_of(src);
   const std::size_t rd = rack_of(dst);

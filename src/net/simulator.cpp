@@ -166,6 +166,16 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
                   std::move(fs));
 }
 
+void Simulator::set_network(std::shared_ptr<const Network> network) {
+  if (!network) throw std::invalid_argument("Simulator: null network");
+  if (ran_) throw std::logic_error("Simulator: set_network after run()");
+  if (network->nodes() != network_->nodes()) {
+    throw std::invalid_argument("Simulator::set_network: node count mismatch");
+  }
+  if (!faults_.empty()) faults_.validate(*network);
+  network_ = std::move(network);
+}
+
 void Simulator::reset_epoch() noexcept {
   coflows_.clear();
   total_flows_ = 0;

@@ -160,6 +160,16 @@ class Simulator {
   /// (see reset_epoch for the steady-state reuse path).
   SimReport run();
 
+  /// Swap the network between epochs — the routed-topology path: the Engine
+  /// recomputes the route choice per drain from the epoch's aggregate demand
+  /// and installs the resulting RoutedTopology here before registering
+  /// coflows. Must be called with no run in flight (construction or right
+  /// after reset_epoch); the replacement must have the same node count, and
+  /// an installed fault schedule is revalidated against it. Safe because the
+  /// allocator context rebinds (and re-resolves every cached link table) at
+  /// the start of each run.
+  void set_network(std::shared_ptr<const Network> network);
+
   /// Epoch-reset fast path for always-on callers (core::Engine's drain
   /// loop): clear the enqueued coflows and the ran-once latch while keeping
   /// the network, the allocator instance, the fault schedule and the config

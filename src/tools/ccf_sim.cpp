@@ -2,11 +2,16 @@
 //
 //   ccf_sim --flows flows.csv [--nodes N] [--allocator madd]
 //           [--port-rate 125M] [--racks R --hosts H --oversub S]
+//           [--topology SPEC [--routing ecmp|greedy|joint]]
 //           [--faults faults.csv [--replace] [--replace-threshold X]]
 //
 // flows.csv rows: src,dst,bytes (optional header). Prints the coflow
 // completion time, the analytic optimum Γ, traffic, and bottleneck ports.
 // With --racks/--hosts the simulation runs on a two-tier rack topology.
+// --topology runs it on a general multipath topology instead
+// (net::TopologySpec grammar, e.g. "leafspine:racks=32,hosts=16,spines=4,
+// oversub=4", "fattree:k=4", "waxman:nodes=24,seed=7"), with --routing
+// choosing the path-selection policy the flow matrix is routed by.
 // --faults injects a time,kind,id,side,factor schedule (net/io.hpp);
 // --replace re-assigns flow remainders off ports degraded to at most
 // --replace-threshold. The allocator list in --help is the live policy
@@ -19,6 +24,7 @@
 #include "net/metrics.hpp"
 #include "net/rack.hpp"
 #include "net/simulator.hpp"
+#include "net/topology.hpp"
 #include "tools/common.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -35,6 +41,11 @@ int main(int argc, char** argv) {
     args.add_flag("racks", "0", "racks (0 = flat non-blocking fabric)");
     args.add_flag("hosts", "0", "hosts per rack (with --racks)");
     args.add_flag("oversub", "1", "rack uplink oversubscription");
+    args.add_flag("topology", "",
+                  "multipath topology spec: leafspine|fattree|waxman"
+                  "[:key=value,...] (overrides --racks)");
+    args.add_flag("routing", "ecmp",
+                  ccf::core::registry::routing_name_list());
     args.add_flag("faults", "", "CSV fault schedule: time,kind,id,side,factor");
     args.add_flag("replace", "false",
                   "re-place flow remainders off failed destination ports");
@@ -48,7 +59,28 @@ int main(int argc, char** argv) {
 
     std::shared_ptr<const ccf::net::Network> network;
     const auto racks = static_cast<std::size_t>(args.get_int("racks"));
-    if (racks > 0) {
+    if (!args.get("topology").empty()) {
+      ccf::net::TopologySpec spec =
+          ccf::net::TopologySpec::parse(args.get("topology"));
+      spec.host_rate = rate;
+      const auto topology = ccf::net::make_topology(spec);
+      if (topology->nodes() < flows.nodes()) {
+        std::cerr << "error: topology has fewer nodes than the flow matrix\n";
+        return 2;
+      }
+      // Pad the matrix to the topology width, then route it.
+      ccf::net::FlowMatrix padded(topology->nodes());
+      for (std::size_t i = 0; i < flows.nodes(); ++i) {
+        for (std::size_t j = 0; j < flows.nodes(); ++j) {
+          if (i != j) padded.set(i, j, flows.volume(i, j));
+        }
+      }
+      flows = std::move(padded);
+      const auto policy =
+          ccf::core::registry::make_routing(args.get("routing"));
+      network = std::make_shared<const ccf::net::RoutedTopology>(
+          topology, policy->choose(*topology, flows));
+    } else if (racks > 0) {
       const auto hosts = static_cast<std::size_t>(args.get_int("hosts"));
       network = std::make_shared<const ccf::net::RackFabric>(
           racks, hosts, rate, args.get_double("oversub"));

@@ -39,6 +39,18 @@ TEST(Registry, AllocatorNamesResolveThroughTheNetFactory) {
   }
 }
 
+TEST(Registry, RoutingNamesResolveThroughTheNetFactory) {
+  EXPECT_GE(routing_names().size(), 3u);
+  for (const auto name : routing_names()) {
+    const std::string n(name);
+    EXPECT_TRUE(has_routing(name)) << n;
+    const auto routing = make_routing(n);
+    ASSERT_NE(routing, nullptr) << n;
+    EXPECT_EQ(routing->name(), n);
+    EXPECT_EQ(net::make_routing_policy(n)->name(), n);
+  }
+}
+
 TEST(Registry, AllocatorKindRoundTrips) {
   for (const auto name : allocator_names()) {
     const std::string n(name);
@@ -55,19 +67,27 @@ TEST(Registry, HelpListsContainEveryName) {
   for (const auto name : allocator_names()) {
     EXPECT_NE(allocators.find(name), std::string::npos) << name;
   }
+  const std::string routings = routing_name_list();
+  for (const auto name : routing_names()) {
+    EXPECT_NE(routings.find(name), std::string::npos) << name;
+  }
   EXPECT_NE(schedulers.find(" | "), std::string::npos);
   EXPECT_NE(allocators.find(" | "), std::string::npos);
+  EXPECT_NE(routings.find(" | "), std::string::npos);
 }
 
 TEST(Registry, UnknownNamesAreRejected) {
   EXPECT_FALSE(has_scheduler("bogus"));
   EXPECT_FALSE(has_allocator("bogus"));
+  EXPECT_FALSE(has_routing("bogus"));
   EXPECT_THROW(make_scheduler("bogus"), std::invalid_argument);
   EXPECT_THROW(make_allocator("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_routing("bogus"), std::invalid_argument);
   EXPECT_THROW(allocator_kind("bogus"), std::invalid_argument);
   // Case and whitespace are significant: names are exact tokens.
   EXPECT_FALSE(has_scheduler("CCF"));
   EXPECT_FALSE(has_allocator(" madd"));
+  EXPECT_FALSE(has_routing("ECMP"));
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+// Hand-computed golden instances pinning the route choices and CCTs of the
+// topology layer (DESIGN.md §12).
+//
+// Fat-tree (k = 4, all links 10 B/s): hosts 0 and 1 sit under edge (0,0),
+// hosts 4 and 5 under edge (1,0). The coflow {0->4: 100 B, 1->5: 100 B} has
+// two optimal routings — put the flows on different aggregation switches —
+// and one pessimal one — collapse both onto agg 0, loading every link of the
+// shared 4-link segment with 200 B. So:
+//   collapsed      -> Γ = 200/10 = 20 s  (both flows squeezed through agg 0)
+//   ecmp           -> Γ = 100/10 = 10 s  ((0+4)%4 = path 0 = (agg0,core0);
+//                                         (1+5)%4 = path 2 = (agg1,core0))
+//   greedy / joint -> 10 s               (must discover the disjoint paths)
+// Every allocator attains these exactly: the flows are symmetric, so fair,
+// varys, aalo and varys-edf all produce the same 5 B/s (contended) or
+// 10 B/s (disjoint) rates MADD does.
+//
+// Waxman (4 hosts, 2 routers, seed-stable): hosts {0,2} attach to router 0,
+// {1,3} to router 1 (round-robin i mod 2); the single inter-router trunk
+// carries ceil(4/2) * 10 = 20 B/s. The coflow {0->1: 100, 2->3: 100} fills
+// the trunk exactly (two 10 B/s flows), CCT 10 s; {0->1: 100, 2->1: 100}
+// shares host 1's 10 B/s ingress, CCT 20 s. Any seed produces this topology:
+// with two routers the patched graph is always the single trunk.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/multipath.hpp"
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+
+namespace ccf::net {
+namespace {
+
+constexpr const char* kAllocators[] = {"fair", "madd", "varys", "aalo",
+                                       "varys-edf"};
+
+double simulate_cct(std::shared_ptr<const Topology> topo, RouteChoice choice,
+                    const FlowMatrix& m, const char* allocator) {
+  Simulator sim(
+      std::make_shared<const RoutedTopology>(std::move(topo), std::move(choice)),
+      make_allocator(allocator));
+  sim.add_coflow(CoflowSpec("golden", 0.0, m));
+  return sim.run().coflows[0].cct();
+}
+
+TEST(TopologyGolden, FatTreeRouteChoicesAndCctsPerAllocator) {
+  const auto topo = Topology::fat_tree(4, 10.0);
+  FlowMatrix m(topo->nodes());
+  m.set(0, 4, 100.0);
+  m.set(1, 5, 100.0);
+
+  // The analytic objective first: Γ doubles when both flows collapse onto
+  // aggregation switch 0.
+  EXPECT_DOUBLE_EQ(routed_gamma(*topo, m, route_collapsed(*topo)), 20.0);
+  EXPECT_DOUBLE_EQ(routed_gamma(*topo, m, route_ecmp(*topo)), 10.0);
+  EXPECT_DOUBLE_EQ(routed_gamma(*topo, m, route_greedy(*topo, m)), 10.0);
+  EXPECT_DOUBLE_EQ(routed_gamma(*topo, m, route_joint(*topo, m)), 10.0);
+
+  // The greedy router must move flow (1,5) off flow (0,4)'s aggregation
+  // switch: any of the h^2 = 4 inter-pod paths with agg index 1 (indices 2
+  // and 3) is disjoint from path 0.
+  const RouteChoice greedy = route_greedy(*topo, m);
+  const std::size_t n = topo->nodes();
+  EXPECT_EQ(greedy[0 * n + 4], 0u);  // first flow keeps the first path
+  EXPECT_GE(greedy[1 * n + 5], 2u);  // second flow switches to agg 1
+
+  for (const char* allocator : kAllocators) {
+    SCOPED_TRACE(allocator);
+    EXPECT_DOUBLE_EQ(
+        simulate_cct(topo, route_collapsed(*topo), m, allocator), 20.0);
+    EXPECT_DOUBLE_EQ(simulate_cct(topo, route_ecmp(*topo), m, allocator),
+                     10.0);
+    EXPECT_DOUBLE_EQ(
+        simulate_cct(topo, route_greedy(*topo, m), m, allocator), 10.0);
+    EXPECT_DOUBLE_EQ(
+        simulate_cct(topo, route_joint(*topo, m), m, allocator), 10.0);
+  }
+}
+
+TEST(TopologyGolden, WaxmanTrunkContentionCctsPerAllocator) {
+  WaxmanOptions wax;
+  wax.routers = 2;
+  const auto topo = Topology::waxman(4, 10.0, 9, wax);
+
+  // Structure: 8 host ports + one trunk in each direction, capacity 20 B/s,
+  // and exactly one path between hosts on different routers.
+  ASSERT_EQ(topo->link_count(), 10u);
+  EXPECT_DOUBLE_EQ(topo->link_capacity(8), 20.0);
+  EXPECT_DOUBLE_EQ(topo->link_capacity(9), 20.0);
+  EXPECT_EQ(topo->path_count(0, 1), 1u);
+  EXPECT_EQ(topo->path_count(0, 2), 1u);  // same router: direct
+  EXPECT_EQ(topo->max_path_count(), 1u);
+
+  FlowMatrix fill(4);  // fills the trunk exactly: 2 x 10 B/s
+  fill.set(0, 1, 100.0);
+  fill.set(2, 3, 100.0);
+  FlowMatrix contend(4);  // shares host 1's ingress: 2 x 5 B/s
+  contend.set(0, 1, 100.0);
+  contend.set(2, 1, 100.0);
+  for (const char* allocator : kAllocators) {
+    SCOPED_TRACE(allocator);
+    EXPECT_DOUBLE_EQ(
+        simulate_cct(topo, route_ecmp(*topo), fill, allocator), 10.0);
+    EXPECT_DOUBLE_EQ(
+        simulate_cct(topo, route_ecmp(*topo), contend, allocator), 20.0);
+  }
+}
+
+TEST(TopologyGolden, SeededGeneratorIsRunAndThreadIndependent) {
+  WaxmanOptions wax;
+  wax.routers = 6;
+  wax.route_k = 3;
+  const auto build = [&] { return Topology::waxman(18, 10.0, 1234, wax); };
+
+  // Same seed on the main thread and on two concurrent threads: the builds
+  // must be structurally identical (the generator is single-threaded and
+  // seeded, so thread count and scheduling cannot leak in).
+  const auto reference = build();
+  std::vector<std::shared_ptr<const Topology>> built(2);
+  {
+    std::thread a([&] { built[0] = build(); });
+    std::thread b([&] { built[1] = build(); });
+    a.join();
+    b.join();
+  }
+  for (const auto& topo : built) {
+    ASSERT_NE(topo, nullptr);
+    ASSERT_EQ(topo->link_count(), reference->link_count());
+    for (std::size_t l = 0; l < reference->link_count(); ++l) {
+      const auto id = static_cast<Topology::LinkId>(l);
+      EXPECT_EQ(topo->link_capacity(id), reference->link_capacity(id));
+      EXPECT_EQ(topo->link_ends(id).tail, reference->link_ends(id).tail);
+      EXPECT_EQ(topo->link_ends(id).head, reference->link_ends(id).head);
+    }
+    const auto n = static_cast<std::uint32_t>(reference->nodes());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        ASSERT_EQ(topo->path_count(i, j), reference->path_count(i, j));
+        for (std::uint32_t k = 0; k < reference->path_count(i, j); ++k) {
+          EXPECT_EQ(topo->path_links(i, j, k), reference->path_links(i, j, k));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccf::net

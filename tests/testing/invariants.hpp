@@ -53,6 +53,15 @@ class InvariantCheckedAllocator final : public net::RateAllocator {
   /// Allocation epochs checked so far (tests assert the checker actually ran).
   std::size_t epochs() const noexcept { return epochs_; }
 
+  /// Forget the per-coflow progress watermarks. Call between simulation
+  /// epochs (Simulator::reset_epoch) when one decorated allocator is reused
+  /// across runs — a new epoch's coflows legitimately restart bytes_sent
+  /// from zero, which check 3 would otherwise flag as lost bytes.
+  void reset_epoch() noexcept {
+    last_sent_.clear();
+    active_rem_.clear();
+  }
+
  private:
   void check_epoch(net::AllocatorContext& ctx, const net::ActiveFlows& flows,
                    std::span<const net::CoflowState> coflows, double now) {
