@@ -29,16 +29,15 @@ namespace {
 struct SystemConfig {
   const char* label;
   const char* scheduler;
-  ccf::net::AllocatorKind allocator;
+  const char* allocator;  ///< registry name
   bool skew_handling;
 };
 
 constexpr SystemConfig kSystems[] = {
-    {"hash + fair", "hash", ccf::net::AllocatorKind::kFairSharing, false},
-    {"hash + aalo", "hash", ccf::net::AllocatorKind::kAalo, false},
-    {"ccf-ls + madd", "ccf-ls", ccf::net::AllocatorKind::kMadd, true},
-    {"ccf-portfolio + madd", "ccf-portfolio", ccf::net::AllocatorKind::kMadd,
-     true},
+    {"hash + fair", "hash", "fair", false},
+    {"hash + aalo", "hash", "aalo", false},
+    {"ccf-ls + madd", "ccf-ls", "madd", true},
+    {"ccf-portfolio + madd", "ccf-portfolio", "madd", true},
 };
 
 }  // namespace

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         ops.push_back(std::move(op));
       }
       ccf::core::JobOptions options;
-      options.allocator = ccf::core::registry::allocator_kind(allocator);
+      options.allocator = allocator;
       const auto r = ccf::core::run_concurrent_operators(ops, options);
       t.add_row({std::to_string(count),
                  ccf::util::format_seconds(r.union_gamma_independent),

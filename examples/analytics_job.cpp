@@ -42,14 +42,15 @@ int main(int argc, char** argv) {
             << " nodes, arrivals staggered by " << stagger << " s\n\n";
 
   ccf::util::Table t({"inter-coflow scheduler", "avg CCT", "job makespan"});
-  for (const auto& [kind, label] :
-       {std::pair{ccf::net::AllocatorKind::kMadd, "FIFO+MADD"},
-        std::pair{ccf::net::AllocatorKind::kVarys, "Varys (SEBF)"},
-        std::pair{ccf::net::AllocatorKind::kAalo, "Aalo (D-CLAS)"},
-        std::pair{ccf::net::AllocatorKind::kFairSharing, "fair sharing"}}) {
+  for (const auto& [name, label] :
+       {std::pair{"madd", "FIFO+MADD"},
+        std::pair{"varys", "Varys (SEBF)"},
+        std::pair{"aalo", "Aalo (D-CLAS)"},
+        std::pair{"sincronia", "Sincronia (BSSI)"},
+        std::pair{"fair", "fair sharing"}}) {
     ccf::core::JobOptions opts;
     opts.scheduler = "ccf";
-    opts.allocator = kind;
+    opts.allocator = name;
     const auto report = ccf::core::run_job(ops, opts);
     t.add_row({label, ccf::util::format_seconds(report.sim.average_cct()),
                ccf::util::format_seconds(report.sim.makespan)});

@@ -71,7 +71,7 @@ ConcurrentReport run_concurrent_operators(
   EngineOptions eopts;
   eopts.nodes = n;
   eopts.port_rate = options.port_rate;
-  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  eopts.allocator = options.allocator;
   Engine engine(std::move(eopts));
 
   auto run_config = [&](bool joint, double* union_gamma) {

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -57,12 +58,16 @@ QueryId Engine::submit(QuerySpec spec) {
   if (spec.arrival < 0.0) {
     throw std::invalid_argument("Engine::submit: negative arrival time");
   }
+  if (spec.weight < 0.0 || !std::isfinite(spec.weight)) {
+    throw std::invalid_argument("Engine::submit: invalid query weight");
+  }
   RunContext ctx;
   ctx.name = std::move(spec.name);
   ctx.arrival = spec.arrival;
   ctx.workload = std::move(spec.workload);
   ctx.scheduler_name = std::move(spec.scheduler);
   ctx.skew_handling = spec.skew_handling;
+  ctx.weight = spec.weight;
 
   const std::scoped_lock lock(mutex_);
   const auto it =
@@ -251,6 +256,7 @@ void Engine::drain_into(EngineReport& report) {
       if (ctx.plan_flows) {
         net::SparseCoflowSpec spec(ctx.name, ctx.arrival, *ctx.plan_flows);
         spec.prenormalized = true;  // memoized to_flows output
+        spec.weight = ctx.weight;
         sim_->add_coflow(std::move(spec));
       } else {
         sim_->add_coflow(stage_coflow(ctx));

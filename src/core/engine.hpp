@@ -116,6 +116,11 @@ struct QuerySpec {
   std::shared_ptr<const data::Workload> workload;
   std::string scheduler = "ccf";  ///< placement policy (registry name)
   bool skew_handling = true;
+  /// Weighted-CCT importance of the query's coflow (finite, >= 0). The
+  /// ordering allocators ("sincronia" | "lp-order") prioritize the drain
+  /// epoch by it; classic allocators ignore it. Flows through the Service
+  /// verbatim, so per-tenant weighting composes with WRR admission.
+  double weight = 1.0;
 
   QuerySpec() = default;
   QuerySpec(std::string query_name, data::Workload w,

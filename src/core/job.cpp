@@ -26,7 +26,7 @@ JobReport run_job(const std::vector<OperatorSpec>& operators,
   EngineOptions eopts;
   eopts.nodes = n;
   eopts.port_rate = options.port_rate;
-  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  eopts.allocator = options.allocator;
   Engine engine(std::move(eopts));
   for (const OperatorSpec& op : operators) {
     QuerySpec query(op.name, data::generate_workload(op.workload),

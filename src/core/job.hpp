@@ -26,7 +26,7 @@ struct OperatorSpec {
 struct JobOptions {
   std::string scheduler = "ccf";  ///< placement policy for every operator
   bool skew_handling = true;
-  net::AllocatorKind allocator = net::AllocatorKind::kVarys;
+  std::string allocator = "varys";  ///< inter-coflow policy (registry name)
   double port_rate = net::Fabric::kDefaultPortRate;
 };
 

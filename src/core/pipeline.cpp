@@ -15,7 +15,7 @@ PipelineOptions PipelineOptions::paper_system(const std::string& scheduler_name)
   // §IV-A: the skew-handling method is integrated into Mini and CCF; Hash is
   // the plain hash-based baseline.
   o.skew_handling = scheduler_name != "hash";
-  o.allocator = net::AllocatorKind::kMadd;
+  o.allocator = "madd";
   return o;
 }
 
@@ -28,7 +28,7 @@ RunReport run_pipeline(const data::Workload& workload,
   EngineOptions eopts;
   eopts.nodes = workload.matrix.nodes();
   eopts.port_rate = options.port_rate;
-  eopts.allocator = std::string(registry::allocator_name(options.allocator));
+  eopts.allocator = options.allocator;
   eopts.simulate = options.simulate;
   eopts.faults = options.faults;
   eopts.fault_options = options.fault_options;

@@ -19,9 +19,11 @@ struct PipelineOptions {
   /// Apply partial duplication before scheduling. The paper enables it for
   /// Mini and CCF but not for Hash (§IV-A).
   bool skew_handling = true;
-  /// Network-level coflow scheduler; the paper's experiments use the optimal
-  /// single-coflow schedule, i.e. MADD.
-  net::AllocatorKind allocator = net::AllocatorKind::kMadd;
+  /// Network-level coflow scheduler (registry name: the classic policies
+  /// "fair" | "madd" | "varys" | "aalo" | "varys-edf" or an ordering
+  /// scheduler "sincronia" | "lp-order"); the paper's experiments use the
+  /// optimal single-coflow schedule, i.e. MADD.
+  std::string allocator = "madd";
   /// Port bandwidth in bytes/second.
   double port_rate = net::Fabric::kDefaultPortRate;
   /// If false, skip the event simulation and report the analytic Γ as the

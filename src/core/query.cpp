@@ -62,8 +62,7 @@ QueryReport run_query(const std::vector<QueryStage>& stages,
   EngineOptions eopts;
   eopts.nodes = n;
   eopts.port_rate = options.job.port_rate;
-  eopts.allocator =
-      std::string(registry::allocator_name(options.job.allocator));
+  eopts.allocator = options.job.allocator;
   Engine engine(std::move(eopts));
 
   QueryReport report;

@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "sched/ordering.hpp"
+
 namespace ccf::core::registry {
 namespace {
 
@@ -25,9 +27,13 @@ constexpr std::array<AllocatorEntry, 5> kAllocators = {{
     {"varys-edf", net::AllocatorKind::kVarysDeadline},
 }};
 
-constexpr std::array<std::string_view, 5> kAllocatorNames = {
+// The full allocator surface: the classic net-layer policies above plus the
+// ordering schedulers (sched/ordering.hpp), which live a layer up and have
+// no AllocatorKind — make_allocator dispatches on the name. Must track
+// sched::ordering_names().
+constexpr std::array<std::string_view, 7> kAllocatorNames = {
     kAllocators[0].name, kAllocators[1].name, kAllocators[2].name,
-    kAllocators[3].name, kAllocators[4].name};
+    kAllocators[3].name, kAllocators[4].name, "sincronia", "lp-order"};
 
 // Must track net::make_routing_policy; registry_test resolves every name.
 constexpr std::array<std::string_view, 3> kRoutings = {"ecmp", "greedy",
@@ -74,6 +80,7 @@ std::unique_ptr<join::PartitionScheduler> make_scheduler(
 }
 
 std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name) {
+  if (sched::has_ordering(name)) return sched::make_ordered_allocator(name);
   return net::make_allocator(name);
 }
 

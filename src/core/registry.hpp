@@ -24,7 +24,11 @@ namespace ccf::core::registry {
 /// Placement-scheduler names in canonical order ("hash", "mini", "ccf", ...).
 std::span<const std::string_view> scheduler_names();
 
-/// Rate-allocator names in canonical order ("fair", "madd", "varys", ...).
+/// Rate-allocator names in canonical order: the classic net-layer policies
+/// ("fair", "madd", "varys", "aalo", "varys-edf") followed by the ordering
+/// schedulers ("sincronia", "lp-order" — sched/ordering.hpp, dispatched by
+/// make_allocator to sched::make_ordered_allocator; they carry no
+/// AllocatorKind).
 std::span<const std::string_view> allocator_names();
 
 /// Routing-policy names in canonical order ("ecmp", "greedy", "joint") —
@@ -49,7 +53,8 @@ std::unique_ptr<net::RateAllocator> make_allocator(const std::string& name);
 std::unique_ptr<net::RoutingPolicy> make_routing(const std::string& name);
 
 /// Name <-> AllocatorKind mapping (the enum is the compiled-in option
-/// surface; the name is the CLI/config surface). Throw / abort on unknowns.
+/// surface; the name is the CLI/config surface). Throw / abort on unknowns —
+/// including the ordering allocators, which have no kind.
 net::AllocatorKind allocator_kind(const std::string& name);
 std::string_view allocator_name(net::AllocatorKind kind);
 

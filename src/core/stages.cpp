@@ -71,6 +71,7 @@ net::CoflowSpec stage_coflow(RunContext& ctx) {
     throw std::logic_error("stage_coflow: context has no flows");
   }
   net::CoflowSpec spec(ctx.name, ctx.arrival, std::move(*ctx.flows));
+  spec.weight = ctx.weight;
   ctx.flows.reset();
   return spec;
 }

@@ -45,6 +45,7 @@ struct RunContext {
   std::shared_ptr<const data::Workload> workload;  ///< null once flows are injected
   std::string scheduler_name = "ccf";
   bool skew_handling = true;
+  double weight = 1.0;  ///< weighted-CCT importance of the query's coflow
   /// Resolved at submission (policy registry); owned per query so contexts
   /// stay independent under the parallel placement fan-out.
   std::unique_ptr<join::PartitionScheduler> scheduler;

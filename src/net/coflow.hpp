@@ -28,6 +28,10 @@ struct CoflowSpec {
   /// is rejected at arrival (Varys's admission control), an admitted one is
   /// guaranteed to finish by the deadline.
   double deadline = 0.0;
+  /// Relative importance for weighted-CCT objectives (finite, >= 0). The
+  /// ordering schedulers (sched/ordering.hpp) minimize Σ weight·CCT; classic
+  /// allocators ignore it. 1.0 keeps weighted and unweighted objectives equal.
+  double weight = 1.0;
 
   CoflowSpec(std::string coflow_name, double arrival_time, FlowMatrix matrix)
       : name(std::move(coflow_name)),
@@ -49,6 +53,7 @@ struct SparseCoflowSpec {
   double arrival = 0.0;
   std::vector<Flow> flows;
   double deadline = 0.0;  ///< seconds after arrival; 0 = none
+  double weight = 1.0;    ///< weighted-CCT importance (see CoflowSpec::weight)
   /// The flow list is already in the simulator's normalized shape — every
   /// entry validated (endpoints in range, src != dst, finite positive
   /// volume above the completion epsilon) with Flow::start a plain relative
@@ -72,6 +77,7 @@ struct CoflowState {
   std::uint32_t id = 0;
   double arrival = 0.0;
   double deadline = 0.0;         ///< absolute deadline; 0 = none
+  double weight = 1.0;           ///< weighted-CCT importance (spec-supplied)
   double bytes_total = 0.0;      ///< sum of all flow volumes
   double bytes_sent = 0.0;       ///< progress so far (drives Aalo's queues)
   std::size_t flows_total = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/simulator.hpp"
+
 namespace ccf::net {
 
 PortLoads port_loads(const FlowMatrix& flows) {
@@ -55,6 +57,26 @@ std::vector<double> link_loads(const FlowMatrix& flows, const Network& network) 
     }
   }
   return loads;
+}
+
+double total_weighted_cct(const SimReport& report) {
+  double s = 0.0;
+  for (const CoflowResult& c : report.coflows) {
+    if (!c.rejected) s += c.weight * c.cct();
+  }
+  return s;
+}
+
+double weighted_average_cct(const SimReport& report) {
+  double s = 0.0, w = 0.0;
+  for (const CoflowResult& c : report.coflows) {
+    if (c.rejected) continue;
+    s += c.weight * c.cct();
+    w += c.weight;
+  }
+  // Guarded denominator: an all-zero-weight (or empty) epoch is a defined
+  // 0.0, not a NaN that poisons downstream aggregates.
+  return w > 0.0 ? s / w : 0.0;
 }
 
 double gamma_bound(const FlowMatrix& flows, const Network& network) {

@@ -45,4 +45,15 @@ double gamma_bound(const PortLoads& loads, const Fabric& fabric);
 /// Per-link byte loads of a flow matrix on a network, indexed by LinkId.
 std::vector<double> link_loads(const FlowMatrix& flows, const Network& network);
 
+struct SimReport;  // simulator.hpp
+
+/// Σ weight_c · CCT_c over a report's non-rejected coflows — the objective
+/// the ordering schedulers (sched/ordering.hpp) carry guarantees for.
+double total_weighted_cct(const SimReport& report);
+
+/// Weighted mean CCT, Σ w·cct / Σ w over non-rejected coflows. The
+/// denominator is guarded: an epoch whose coflows all carry zero weight (or
+/// an empty report) returns 0.0 instead of NaN.
+double weighted_average_cct(const SimReport& report);
+
 }  // namespace ccf::net

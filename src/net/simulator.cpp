@@ -64,11 +64,13 @@ Simulator::Simulator(std::shared_ptr<const Network> network,
 }
 
 void Simulator::push_normalized(std::string name, double arrival,
-                                double deadline_rel, std::vector<Flow> flows) {
+                                double deadline_rel, double weight,
+                                std::vector<Flow> flows) {
   NormalizedCoflow nc;
   nc.name = std::move(name);
   nc.arrival = arrival;
   nc.deadline = deadline_rel > 0.0 ? arrival + deadline_rel : 0.0;
+  nc.weight = weight;
   const auto id = static_cast<std::uint32_t>(coflows_.size());
   for (Flow& f : flows) {
     f.coflow = id;
@@ -89,6 +91,9 @@ void Simulator::add_coflow(CoflowSpec spec) {
   }
   if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
     throw std::invalid_argument("Simulator: invalid deadline");
+  }
+  if (spec.weight < 0.0 || !std::isfinite(spec.weight)) {
+    throw std::invalid_argument("Simulator: invalid coflow weight");
   }
   if (spec.start_offsets) {
     if (spec.start_offsets->nodes() != spec.flows.nodes()) {
@@ -112,7 +117,7 @@ void Simulator::add_coflow(CoflowSpec spec) {
     }
   }
   push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
-                  std::move(fs));
+                  spec.weight, std::move(fs));
 }
 
 void Simulator::add_coflow(SparseCoflowSpec spec) {
@@ -122,6 +127,9 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
   }
   if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
     throw std::invalid_argument("Simulator: invalid deadline");
+  }
+  if (spec.weight < 0.0 || !std::isfinite(spec.weight)) {
+    throw std::invalid_argument("Simulator: invalid coflow weight");
   }
   if (spec.prenormalized) {
     // Trusted fast path (see SparseCoflowSpec): the list is to_flows output,
@@ -133,7 +141,7 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
       f.start += spec.arrival;
     }
     push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
-                    std::move(spec.flows));
+                    spec.weight, std::move(spec.flows));
     return;
   }
   const std::size_t nn = network_->nodes();
@@ -163,7 +171,7 @@ void Simulator::add_coflow(SparseCoflowSpec spec) {
     fs.push_back(g);
   }
   push_normalized(std::move(spec.name), spec.arrival, spec.deadline,
-                  std::move(fs));
+                  spec.weight, std::move(fs));
 }
 
 void Simulator::set_network(std::shared_ptr<const Network> network) {
@@ -209,6 +217,7 @@ SimReport Simulator::run() {
     st.id = static_cast<std::uint32_t>(c);
     st.arrival = coflows_[c].arrival;
     st.deadline = coflows_[c].deadline;
+    st.weight = coflows_[c].weight;
     st.bytes_total = coflows_[c].bytes_total;
     st.flows_total = st.flows_active = coflows_[c].flows.size();
   }
@@ -235,6 +244,7 @@ SimReport Simulator::run() {
     report.coflows[c].bytes = states[c].bytes_total;
     report.coflows[c].flows = states[c].flows_total;
     report.coflows[c].deadline = states[c].deadline;
+    report.coflows[c].weight = states[c].weight;
     report.name_index.emplace(coflows_[c].name, c);
   }
 

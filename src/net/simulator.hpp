@@ -93,6 +93,7 @@ struct CoflowResult {
   double bytes = 0.0;
   std::size_t flows = 0;
   double deadline = 0.0;  ///< absolute; 0 = none
+  double weight = 1.0;    ///< weighted-CCT importance (CoflowSpec::weight)
   bool rejected = false;  ///< denied admission by a deadline-aware allocator
 
   /// Coflow completion time — the paper's CCT metric.
@@ -193,12 +194,13 @@ class Simulator {
     std::string name;
     double arrival = 0.0;
     double deadline = 0.0;  ///< absolute; 0 = none
+    double weight = 1.0;
     double bytes_total = 0.0;
     std::vector<Flow> flows;
   };
 
   void push_normalized(std::string name, double arrival, double deadline_rel,
-                       std::vector<Flow> flows);
+                       double weight, std::vector<Flow> flows);
 
   std::shared_ptr<const Network> network_;
   std::unique_ptr<RateAllocator> allocator_;

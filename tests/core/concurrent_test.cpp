@@ -27,7 +27,7 @@ TEST(RunConcurrentOperators, JointUnionGammaNeverMeaningfullyWorse) {
       ops.push_back(op(c + 1, 1.0 / static_cast<double>(c + 1)));
     }
     JobOptions options;
-    options.allocator = net::AllocatorKind::kMadd;
+    options.allocator = "madd";
     const ConcurrentReport r = run_concurrent_operators(ops, options);
     EXPECT_LE(r.union_gamma_joint, r.union_gamma_independent * 1.02 + 1e-9)
         << count << " operators";
@@ -61,7 +61,7 @@ TEST(RunConcurrentOperators, JointWinsOnIdenticalCoarseOperators) {
     ops.push_back(std::move(o));
   }
   JobOptions options;
-  options.allocator = net::AllocatorKind::kMadd;
+  options.allocator = "madd";
   const ConcurrentReport r = run_concurrent_operators(ops, options);
   // Joint must beat independent by nearly the operator count on the union
   // bottleneck (4 identical hotspots spread over 8 nodes -> ~4x... at least 2x).
@@ -82,7 +82,7 @@ TEST(RunConcurrentOperators, SameBytesMovedEitherWay) {
 TEST(RunConcurrentOperators, SingleOperatorPlansCoincide) {
   std::vector<OperatorSpec> ops = {op(7)};
   JobOptions options;
-  options.allocator = net::AllocatorKind::kMadd;
+  options.allocator = "madd";
   const ConcurrentReport r = run_concurrent_operators(ops, options);
   // With one operator the stacked instance IS the independent instance.
   EXPECT_NEAR(r.joint_makespan(), r.independent_makespan(),

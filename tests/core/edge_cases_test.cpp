@@ -3,7 +3,10 @@
 // allocator choice inside the pipeline.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/pipeline.hpp"
+#include "core/registry.hpp"
 #include "join/schedulers.hpp"
 #include "net/metrics.hpp"
 #include "net/simulator.hpp"
@@ -54,13 +57,13 @@ TEST(EdgeCases, AllZeroMatrixSchedulesToNoTraffic) {
 TEST(EdgeCases, PipelineUnderEveryAllocator) {
   const auto w = tiny_workload(6, 30);
   core::PipelineOptions opts = core::PipelineOptions::paper_system("ccf");
-  opts.allocator = net::AllocatorKind::kMadd;
+  opts.allocator = "madd";
   const double madd = core::run_pipeline(w, opts).cct_seconds;
-  opts.allocator = net::AllocatorKind::kVarys;
+  opts.allocator = "varys";
   const double varys = core::run_pipeline(w, opts).cct_seconds;
-  opts.allocator = net::AllocatorKind::kAalo;
+  opts.allocator = "aalo";
   const double aalo = core::run_pipeline(w, opts).cct_seconds;
-  opts.allocator = net::AllocatorKind::kFairSharing;
+  opts.allocator = "fair";
   const double fair = core::run_pipeline(w, opts).cct_seconds;
   // Single coflow: Varys degenerates to MADD; Aalo and fair can only lose.
   EXPECT_NEAR(varys, madd, 1e-9 * madd);
@@ -125,6 +128,34 @@ TEST(EdgeCases, TinyFlowsBelowEpsilonAreDropped) {
   const auto r = sim.run();
   EXPECT_DOUBLE_EQ(r.coflows[0].cct(), 0.0);
   EXPECT_EQ(r.coflows[0].flows, 0u);
+}
+
+TEST(EdgeCases, ZeroWeightDrainEpochHasNoNaNs) {
+  // An all-zero-weight epoch is legal (weight >= 0): the ordering scheduler
+  // must still drain every coflow, total weighted CCT is exactly 0, and the
+  // weighted average guards its denominator (0.0, not 0/0 = NaN).
+  for (const char* allocator : {"sincronia", "lp-order", "madd"}) {
+    net::Simulator sim(net::Fabric(3, 1.0),
+                       core::registry::make_allocator(allocator));
+    for (std::size_t c = 0; c < 3; ++c) {
+      net::FlowMatrix m(3);
+      m.set(c, (c + 1) % 3, 4.0 + static_cast<double>(c));
+      net::CoflowSpec spec("z" + std::to_string(c), 0.0, std::move(m));
+      spec.weight = 0.0;
+      sim.add_coflow(std::move(spec));
+    }
+    const net::SimReport report = sim.run();
+    ASSERT_EQ(report.coflows.size(), 3u) << allocator;
+    for (const auto& coflow : report.coflows) {
+      EXPECT_GT(coflow.completion, 0.0) << allocator;  // still drained
+    }
+    EXPECT_DOUBLE_EQ(net::total_weighted_cct(report), 0.0) << allocator;
+    const double avg = net::weighted_average_cct(report);
+    EXPECT_FALSE(std::isnan(avg)) << allocator;
+    EXPECT_DOUBLE_EQ(avg, 0.0) << allocator;
+    // The unweighted metric is untouched by weights.
+    EXPECT_GT(report.average_cct(), 0.0) << allocator;
+  }
 }
 
 TEST(EdgeCases, EqualSizedChunksAnyDestinationTies) {

@@ -62,7 +62,7 @@ TEST_P(EngineEquivalence, SerialSessionMatchesRunPipeline) {
 
   PipelineOptions popts;
   popts.scheduler = scheduler;
-  popts.allocator = registry::allocator_kind(allocator);
+  popts.allocator = allocator;
 
   EngineOptions eopts;
   eopts.nodes = 4;

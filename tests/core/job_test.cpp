@@ -41,11 +41,10 @@ TEST(RunJob, AllocatorsProduceDifferentAverageCct) {
   // With overlapping coflows FIFO vs SEBF ordering matters; at minimum the
   // runs must all complete and move identical bytes.
   double bytes = -1.0;
-  for (const auto kind : {net::AllocatorKind::kMadd, net::AllocatorKind::kVarys,
-                          net::AllocatorKind::kAalo,
-                          net::AllocatorKind::kFairSharing}) {
+  for (const char* allocator :
+       {"madd", "varys", "aalo", "fair", "sincronia", "lp-order"}) {
     JobOptions opts;
-    opts.allocator = kind;
+    opts.allocator = allocator;
     const JobReport r = run_job(three_ops(), opts);
     EXPECT_EQ(r.sim.coflows.size(), 3u);
     if (bytes < 0.0) {

@@ -20,7 +20,7 @@ data::Workload small_workload(double skew = 0.2, double zipf = 0.8) {
 TEST(PaperSystem, FlagsMatchPaperSetup) {
   const auto hash = PipelineOptions::paper_system("hash");
   EXPECT_FALSE(hash.skew_handling);
-  EXPECT_EQ(hash.allocator, net::AllocatorKind::kMadd);
+  EXPECT_EQ(hash.allocator, "madd");
   const auto mini = PipelineOptions::paper_system("mini");
   EXPECT_TRUE(mini.skew_handling);
   const auto ccf = PipelineOptions::paper_system("ccf");

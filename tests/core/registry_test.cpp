@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sched/ordering.hpp"
+
 namespace ccf::core::registry {
 namespace {
 
@@ -27,16 +29,42 @@ TEST(Registry, SchedulerNamesResolveThroughTheJoinFactory) {
   }
 }
 
-TEST(Registry, AllocatorNamesResolveThroughTheNetFactory) {
-  EXPECT_GE(allocator_names().size(), 5u);
+TEST(Registry, AllocatorNamesResolveThroughTheirLayerFactories) {
+  EXPECT_GE(allocator_names().size(), 7u);
   for (const auto name : allocator_names()) {
     const std::string n(name);
     EXPECT_TRUE(has_allocator(name)) << n;
     const auto allocator = make_allocator(n);
     ASSERT_NE(allocator, nullptr) << n;
     EXPECT_EQ(allocator->name(), n);
-    EXPECT_EQ(net::make_allocator(n)->name(), n);
+    // The registry dispatches ordering schedulers to the sched layer and
+    // everything else to the net factory; each name must resolve through
+    // exactly its own layer.
+    if (sched::has_ordering(name)) {
+      EXPECT_EQ(sched::make_ordered_allocator(n)->name(), n);
+      EXPECT_THROW(net::make_allocator(n), std::invalid_argument) << n;
+    } else {
+      EXPECT_EQ(net::make_allocator(n)->name(), n);
+    }
   }
+}
+
+TEST(Registry, OrderingSchedulersAreRegisteredAllocators) {
+  // The names the sched layer exports must all be reachable through the
+  // registry (this is how ccf_sim / ccf_serve / the Engine see them), and
+  // the --help text those tools print — allocator_name_list() verbatim —
+  // must advertise them.
+  EXPECT_GE(sched::ordering_names().size(), 2u);
+  const std::string help = allocator_name_list();
+  for (const auto name : sched::ordering_names()) {
+    EXPECT_TRUE(has_allocator(name)) << name;
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+    EXPECT_NE(sched::make_ordering(std::string(name)), nullptr);
+  }
+  EXPECT_TRUE(has_allocator("sincronia"));
+  EXPECT_TRUE(has_allocator("lp-order"));
+  EXPECT_FALSE(sched::has_ordering("varys"));
+  EXPECT_THROW(sched::make_ordering("varys"), std::invalid_argument);
 }
 
 TEST(Registry, RoutingNamesResolveThroughTheNetFactory) {
@@ -52,9 +80,15 @@ TEST(Registry, RoutingNamesResolveThroughTheNetFactory) {
 }
 
 TEST(Registry, AllocatorKindRoundTrips) {
+  // Only the classic net-layer policies have an AllocatorKind; the ordering
+  // schedulers are name-only and must be rejected by the kind mapping.
   for (const auto name : allocator_names()) {
     const std::string n(name);
-    EXPECT_EQ(allocator_name(allocator_kind(n)), name) << n;
+    if (sched::has_ordering(name)) {
+      EXPECT_THROW(allocator_kind(n), std::invalid_argument) << n;
+    } else {
+      EXPECT_EQ(allocator_name(allocator_kind(n)), name) << n;
+    }
   }
 }
 
@@ -88,6 +122,8 @@ TEST(Registry, UnknownNamesAreRejected) {
   EXPECT_FALSE(has_scheduler("CCF"));
   EXPECT_FALSE(has_allocator(" madd"));
   EXPECT_FALSE(has_routing("ECMP"));
+  EXPECT_FALSE(has_allocator("Sincronia"));
+  EXPECT_FALSE(has_allocator("lp_order"));
 }
 
 }  // namespace
