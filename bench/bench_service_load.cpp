@@ -13,6 +13,18 @@
 // "service_shard_sweep" rows) inside BENCH_sim.json's results array;
 // --smoke re-measures the shards=1 point and fails when throughput drops
 // below half the checked-in baseline (wired up as `perf_smoke_service`).
+//
+// --scale measures the sparse ingestion path instead: whole synthetic
+// coflow traces (bench_sim_scale's scale generator) submitted as
+// SparseCoflowSpec flow lists and drained as one epoch per point — the
+// 10k-rack regime where a dense submission would be ~800 MB per coflow.
+// Each "service_scale" row records wall time and the process peak RSS, the
+// evidence that nothing on the path allocates O(racks²). --smoke-scale
+// gates the 2,500-rack point against the checked-in row (completion, wall
+// within 2x, RSS within 2x past an absolute floor); wired up as
+// `perf_smoke_service_scale`.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -28,7 +40,9 @@
 
 #include "core/service.hpp"
 #include "data/workload.hpp"
+#include "net/trace.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -147,6 +161,117 @@ LoadResult run_load(std::size_t shards, std::size_t total_queries,
   return result;
 }
 
+// --- extreme-scale sparse epochs (the 10k-rack service path) ---------------
+
+/// Process peak RSS in MB (ru_maxrss is KB on Linux). Monotone across the
+/// whole process, so scale points must run in ascending footprint order.
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct ScaleResult {
+  std::size_t racks = 0;
+  std::size_t coflows = 0;
+  std::size_t flows = 0;  ///< flow records across the trace
+  double wall_s = 0.0;    ///< submit-to-flush, epoch simulation included
+  std::uint64_t epochs = 0;
+  double peak_rss_mb = 0.0;
+};
+
+ScaleResult run_scale(std::size_t racks, std::size_t coflows,
+                      std::uint64_t seed) {
+  // The same trace bench_sim_scale's --scale points simulate directly on a
+  // Simulator; here it flows through Service submit -> batch -> Engine.
+  ccf::net::SyntheticTraceOptions trace_options;
+  trace_options.racks = racks;
+  trace_options.coflows = coflows;
+  trace_options.duration_seconds = 6e-3 * static_cast<double>(coflows);
+  ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 83), 83);
+  std::vector<ccf::net::SparseCoflowSpec> specs =
+      ccf::net::to_sparse_coflow_specs(
+          ccf::net::generate_synthetic_trace(trace_options, rng));
+
+  ccf::core::ServiceOptions options;
+  options.engine.nodes = racks;
+  options.engine.allocator = "madd";
+  options.engine.sim.engine = ccf::net::SimEngine::kIncremental;
+  options.shards = 1;
+  // One epoch per point: the whole trace drains as a single 10k-coflow
+  // batch, so the simulated timeline matches bench_sim_scale's scale rows.
+  options.max_batch = coflows;
+  options.max_wait = std::chrono::microseconds(10'000'000);
+  options.queue_capacity = coflows;
+
+  ScaleResult result;
+  result.racks = racks;
+  result.coflows = coflows;
+  for (const auto& spec : specs) result.flows += spec.flows.size();
+
+  ccf::core::Service service(options);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < specs.size();) {
+    // QuerySpec carries the flow list by shared_ptr, so a queue-full retry
+    // re-submits the same spec without copying it.
+    ccf::core::QuerySpec spec;
+    spec.sparse = std::make_shared<const ccf::net::SparseCoflowSpec>(
+        std::move(specs[i]));
+    ccf::core::SubmitResult r;
+    do {
+      r = service.submit(0, spec);
+      if (r.status == ccf::core::SubmitStatus::kQueueFull) {
+        std::this_thread::yield();
+      }
+    } while (r.status == ccf::core::SubmitStatus::kQueueFull);
+    if (!r.accepted()) {
+      std::cerr << "service-scale: unexpected submit status\n";
+      std::exit(1);
+    }
+    ++i;
+  }
+  service.flush();
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  const ccf::core::ServiceStats stats = service.stats();
+  service.stop();
+  if (stats.completed != coflows) {
+    std::cerr << "service-scale: completed " << stats.completed << " of "
+              << coflows << "\n";
+    std::exit(1);
+  }
+  result.epochs = stats.epochs;
+  result.peak_rss_mb = peak_rss_mb();
+  return result;
+}
+
+std::string scale_json(const ScaleResult& r) {
+  std::ostringstream line;
+  line << "{\"bench\": \"service_scale\", \"racks\": " << r.racks
+       << ", \"coflows\": " << r.coflows << ", \"flows\": " << r.flows
+       << ", \"allocator\": \"madd\", \"epochs\": " << r.epochs
+       << ", \"wall_s\": " << r.wall_s
+       << ", \"peak_rss_mb\": " << r.peak_rss_mb << "}";
+  return line.str();
+}
+
+void print_scale_table(const std::vector<ScaleResult>& rows) {
+  ccf::util::Table t(
+      {"racks", "coflows", "flows", "epochs", "wall s", "peak RSS MB"});
+  for (const ScaleResult& r : rows) {
+    std::ostringstream wall, rss;
+    wall.precision(2);
+    wall << std::fixed << r.wall_s;
+    rss.precision(1);
+    rss << std::fixed << r.peak_rss_mb;
+    t.add_row({std::to_string(r.racks), std::to_string(r.coflows),
+               std::to_string(r.flows), std::to_string(r.epochs), wall.str(),
+               rss.str()});
+  }
+  t.print(std::cout);
+}
+
 std::string sweep_json(const LoadResult& r) {
   std::ostringstream line;
   line << "{\"bench\": \"service_shard_sweep\", \"shards\": " << r.shards
@@ -187,9 +312,35 @@ double load_baseline_qps(const std::string& path) {
   return std::nan("");
 }
 
-/// Replace every service_* entry inside the baseline's results array.
+struct ScaleBaseline {
+  double wall_s = std::nan("");
+  double peak_rss_mb = std::nan("");
+};
+
+ScaleBaseline load_baseline_scale(const std::string& path, std::size_t racks,
+                                  std::size_t coflows) {
+  ScaleBaseline base;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"service_scale\"") == std::string::npos ||
+        line.find("\"racks\": " + std::to_string(racks)) ==
+            std::string::npos ||
+        line.find("\"coflows\": " + std::to_string(coflows)) ==
+            std::string::npos) {
+      continue;
+    }
+    base.wall_s = json_number(line, "wall_s");
+    base.peak_rss_mb = json_number(line, "peak_rss_mb");
+  }
+  return base;
+}
+
+/// Replace the entries whose bench keys appear in `strip` inside the
+/// baseline's results array.
 int update_baseline(const std::string& path,
-                    const std::vector<std::string>& entries) {
+                    const std::vector<std::string>& entries,
+                    const std::vector<std::string>& strip) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "service-load: cannot read " << path << "\n";
@@ -198,10 +349,14 @@ int update_baseline(const std::string& path,
   std::vector<std::string> lines;
   bool inserted = false;
   for (std::string line; std::getline(in, line);) {
-    if (line.find("\"service_throughput\"") != std::string::npos ||
-        line.find("\"service_shard_sweep\"") != std::string::npos) {
-      continue;
+    bool stripped = false;
+    for (const std::string& key : strip) {
+      if (line.find("\"" + key + "\"") != std::string::npos) {
+        stripped = true;
+        break;
+      }
     }
+    if (stripped) continue;
     lines.push_back(line);
     if (!inserted && line.find("\"results\"") != std::string::npos) {
       for (const std::string& entry : entries) {
@@ -238,6 +393,43 @@ void print_table(const std::vector<LoadResult>& rows) {
   t.print(std::cout);
 }
 
+/// Gates the 2,500-rack x 10,000-coflow sparse point: the epoch must drain
+/// completely through the Service (run_scale exits non-zero otherwise), wall
+/// time must stay within 2x of the checked-in row past a 2 s noise floor,
+/// and peak RSS must stay within 2x past a 1 GB absolute floor — the
+/// regression tripwire for anything O(racks²) sneaking back onto the path.
+int run_smoke_scale(const std::string& baseline_path, std::uint64_t seed) {
+  constexpr std::size_t kRacks = 2500, kCoflows = 10'000;
+  const ScaleResult r = run_scale(kRacks, kCoflows, seed);
+  print_scale_table({r});
+  const ScaleBaseline base =
+      load_baseline_scale(baseline_path, kRacks, kCoflows);
+  bool ok = true;
+  if (!std::isfinite(base.wall_s)) {
+    std::cout << "service-scale smoke: no baseline row (not fatal)\n";
+  } else {
+    if (r.wall_s > 2.0 * base.wall_s && r.wall_s - base.wall_s > 2.0) {
+      std::cerr << "service-scale smoke: wall " << r.wall_s
+                << " s regressed >2x vs checked-in " << base.wall_s << " s\n";
+      ok = false;
+    }
+    if (std::isfinite(base.peak_rss_mb) &&
+        r.peak_rss_mb > 2.0 * base.peak_rss_mb && r.peak_rss_mb > 1024.0) {
+      std::cerr << "service-scale smoke: peak RSS " << r.peak_rss_mb
+                << " MB regressed >2x vs checked-in " << base.peak_rss_mb
+                << " MB\n";
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::cerr << "service-scale smoke FAILED vs " << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "service-scale smoke passed (" << kCoflows
+            << " sparse coflows on " << kRacks << " racks, one epoch)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +441,10 @@ int main(int argc, char** argv) {
   args.add_flag("sweep", "false", "also measure shards = 2 and 4");
   args.add_flag("smoke", "false",
                 "regression check of shards=1 against --baseline");
+  args.add_flag("scale", "false",
+                "measure the sparse 2.5k- and 10k-rack epoch points");
+  args.add_flag("smoke-scale", "false",
+                "regression check of the 2.5k-rack sparse point");
   args.add_flag("baseline", "BENCH_sim.json",
                 "baseline JSON for --smoke comparisons");
   args.add_flag("out", "", "update this baseline JSON");
@@ -257,6 +453,27 @@ int main(int argc, char** argv) {
   const auto total = static_cast<std::size_t>(args.get_int("queries"));
   const auto batch = static_cast<std::size_t>(args.get_int("batch"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  if (args.provided("smoke-scale")) {
+    return run_smoke_scale(args.get("baseline"), seed);
+  }
+
+  if (args.provided("scale")) {
+    // Ascending footprint order: peak RSS is process-monotone, so the 10k
+    // point must come last for the 2.5k row to be meaningful.
+    std::vector<ScaleResult> rows;
+    rows.push_back(run_scale(2500, 10'000, seed));
+    rows.push_back(run_scale(10'000, 10'000, seed));
+    print_scale_table(rows);
+    std::vector<std::string> entries;
+    for (const ScaleResult& r : rows) entries.push_back(scale_json(r));
+    if (!args.get("out").empty()) {
+      return update_baseline(args.get("out"), entries, {"service_scale"});
+    }
+    std::cout << "\n";
+    for (const std::string& entry : entries) std::cout << entry << "\n";
+    return 0;
+  }
 
   if (args.provided("smoke")) {
     // A shorter run keeps the gate fast; throughput is rate, not volume, so
@@ -292,7 +509,8 @@ int main(int argc, char** argv) {
   entries.push_back(throughput_json(rows.front(), batch));
   for (const LoadResult& r : rows) entries.push_back(sweep_json(r));
   if (!args.get("out").empty()) {
-    return update_baseline(args.get("out"), entries);
+    return update_baseline(args.get("out"), entries,
+                           {"service_throughput", "service_shard_sweep"});
   }
   std::cout << "\n";
   for (const std::string& entry : entries) std::cout << entry << "\n";

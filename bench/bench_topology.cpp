@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "net/demand.hpp"
 #include "net/multipath.hpp"
 #include "net/simulator.hpp"
 #include "net/topology.hpp"
@@ -46,11 +47,11 @@ constexpr std::uint64_t kSeeds[] = {1, 2, 3};
 /// pair draws a fat aggregate volume, split across random host pairs with
 /// zipf shares — a few elephant flows dominate every pair, like a skewed
 /// reducer distribution.
-ccf::net::FlowMatrix heavy_shuffle(std::size_t groups, std::size_t width,
-                                   double host_rate, std::uint64_t seed) {
+ccf::net::Demand heavy_shuffle(std::size_t groups, std::size_t width,
+                               double host_rate, std::uint64_t seed) {
   ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 95), 95);
   const std::size_t nodes = groups * width;
-  ccf::net::FlowMatrix m(nodes);
+  ccf::net::Demand demand(nodes);
   const auto shares = ccf::util::zipf_weights(width, 1.5);
   for (std::size_t i = 0; i < groups; ++i) {
     for (std::size_t j = 0; j < groups; ++j) {
@@ -62,12 +63,14 @@ ccf::net::FlowMatrix heavy_shuffle(std::size_t groups, std::size_t width,
             i * width + rng.bounded(static_cast<std::uint32_t>(width));
         const auto dst =
             j * width + rng.bounded(static_cast<std::uint32_t>(width));
-        if (src != dst) m.add(src, dst, volume * shares[s]);
+        // Repeated pairs merge by summing in insertion order — the same
+        // accumulation FlowMatrix::add used to perform here.
+        if (src != dst) demand.add(src, dst, volume * shares[s]);
       }
     }
   }
-  if (m.traffic() <= 0.0) m.set(0, 1, host_rate);
-  return m;
+  if (demand.traffic() <= 0.0) demand.add(0, 1, host_rate);
+  return demand;
 }
 
 struct RoutingPoint {
@@ -83,12 +86,12 @@ RoutingPoint run_point(const std::shared_ptr<const ccf::net::Topology>& topo,
   RoutingPoint point;
   const auto start = std::chrono::steady_clock::now();
   for (const auto seed : kSeeds) {
-    const ccf::net::FlowMatrix flows =
-        heavy_shuffle(groups, width, 10.0, seed);
+    const ccf::net::Demand demand = heavy_shuffle(groups, width, 10.0, seed);
     ccf::net::Simulator sim(std::make_shared<const ccf::net::RoutedTopology>(
-                                topo, policy->choose(*topo, flows)),
+                                topo, policy->choose(*topo, demand)),
                             ccf::net::make_allocator("madd"));
-    sim.add_coflow(ccf::net::CoflowSpec("shuffle", 0.0, flows));
+    sim.add_coflow(
+        ccf::net::SparseCoflowSpec("shuffle", 0.0, demand.to_flows()));
     point.mean_cct_s += sim.run().coflows[0].cct();
   }
   point.mean_cct_s /= static_cast<double>(std::size(kSeeds));

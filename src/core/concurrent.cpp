@@ -75,7 +75,7 @@ ConcurrentReport run_concurrent_operators(
   Engine engine(std::move(eopts));
 
   auto run_config = [&](bool joint, double* union_gamma) {
-    net::FlowMatrix union_flows(n);
+    net::Demand union_demand(n);
     std::size_t row = 0;
     for (std::size_t o = 0; o < operators.size(); ++o) {
       const PreparedInput& in = *contexts[o].prepared;
@@ -89,14 +89,10 @@ ConcurrentReport run_concurrent_operators(
         flows = join::assignment_flows(in.residual, contexts[o].destinations,
                                        in.initial_flows);
       }
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-          union_flows.add(i, j, flows.volume(i, j));
-        }
-      }
+      union_demand.accumulate(flows);
       engine.submit(operators[o].name, 0.0, std::move(flows));
     }
-    *union_gamma = net::gamma_bound(union_flows, fabric);
+    *union_gamma = net::gamma_bound(union_demand, fabric);
     return std::move(engine.drain().sim);
   };
 

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -30,6 +31,44 @@ EngineOptions normalize_options(EngineOptions options) {
 
 }  // namespace
 
+void validate_sparse_spec(const net::SparseCoflowSpec& spec,
+                          std::size_t nodes) {
+  if (spec.arrival < 0.0 || !std::isfinite(spec.arrival)) {
+    throw std::invalid_argument("sparse spec: invalid arrival time");
+  }
+  if (spec.deadline < 0.0 || !std::isfinite(spec.deadline)) {
+    throw std::invalid_argument("sparse spec: invalid deadline");
+  }
+  if (spec.weight < 0.0 || !std::isfinite(spec.weight)) {
+    throw std::invalid_argument("sparse spec: invalid weight");
+  }
+  for (const net::Flow& f : spec.flows) {
+    if (f.src >= nodes || f.dst >= nodes) {
+      throw std::invalid_argument(
+          "sparse spec: flow endpoint outside the fabric");
+    }
+    if (f.src == f.dst) {
+      throw std::invalid_argument("sparse spec: intra-rack flow (src == dst)");
+    }
+    if (f.volume < 0.0 || !std::isfinite(f.volume)) {
+      throw std::invalid_argument("sparse spec: invalid flow volume");
+    }
+    if (f.start < 0.0 || !std::isfinite(f.start)) {
+      throw std::invalid_argument("sparse spec: invalid flow start offset");
+    }
+  }
+}
+
+bool sparse_spec_valid(const net::SparseCoflowSpec& spec,
+                       std::size_t nodes) noexcept {
+  try {
+    validate_sparse_spec(spec, nodes);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
 Engine::Engine(EngineOptions options)
     : options_(normalize_options(std::move(options))),
       fabric_(options_.nodes > 0
@@ -48,6 +87,19 @@ Engine::Engine(EngineOptions options)
 }
 
 QueryId Engine::submit(QuerySpec spec) {
+  if (spec.sparse) {
+    validate_sparse_spec(*spec.sparse, fabric_.nodes());
+    RunContext ctx;
+    ctx.name = spec.sparse->name;
+    ctx.arrival = spec.sparse->arrival;
+    ctx.scheduler_name = "sparse";
+    ctx.weight = spec.sparse->weight;
+    ctx.sparse = std::move(spec.sparse);
+
+    const std::scoped_lock lock(mutex_);
+    pending_.push_back(std::move(ctx));
+    return next_id_++;
+  }
   if (!spec.workload) {
     throw std::invalid_argument("Engine::submit: query has no workload");
   }
@@ -112,13 +164,20 @@ QueryId Engine::submit(std::string name, double arrival,
   ctx.name = std::move(name);
   ctx.arrival = arrival;
   ctx.scheduler_name = "prebuilt";
-  ctx.traffic_bytes = flows.traffic();
-  ctx.flow_count = flows.flow_count();
-  ctx.flows = std::move(flows);
+  ctx.flows = net::Demand::from_matrix(flows);
+  ctx.traffic_bytes = ctx.flows->traffic();
+  ctx.flow_count = ctx.flows->flow_count();
 
   const std::scoped_lock lock(mutex_);
   pending_.push_back(std::move(ctx));
   return next_id_++;
+}
+
+QueryId Engine::submit(net::SparseCoflowSpec spec) {
+  QuerySpec query;
+  query.sparse =
+      std::make_shared<const net::SparseCoflowSpec>(std::move(spec));
+  return submit(std::move(query));
 }
 
 std::size_t Engine::pending() const {
@@ -172,7 +231,16 @@ void Engine::drain_into(EngineReport& report) {
       [&](std::size_t i) {
         RunContext& ctx = batch[i];
         if (ctx.plan_cached) return;
-        if (!ctx.flows) {
+        if (ctx.sparse) {
+          // Raw sparse submission: aggregate the flow list (duplicates merge
+          // by summing) for metrics and the epoch routing; the spec itself
+          // registers verbatim below.
+          net::Demand demand(fabric_.nodes());
+          demand.accumulate(std::span<const net::Flow>(ctx.sparse->flows));
+          ctx.flows = std::move(demand);
+          ctx.traffic_bytes = ctx.flows->traffic();
+          ctx.flow_count = ctx.flows->flow_count();
+        } else if (!ctx.flows) {
           stage_prepare(ctx);
           stage_place(ctx);
           stage_flows(ctx);
@@ -218,18 +286,17 @@ void Engine::drain_into(EngineReport& report) {
     // table) at the start of each run.
     std::shared_ptr<const net::RoutedTopology> routed;
     if (topology_) {
-      epoch_demand_.emplace(fabric_.nodes());
+      if (!epoch_demand_) {
+        epoch_demand_.emplace(fabric_.nodes());
+      } else {
+        epoch_demand_->clear();
+      }
       for (const RunContext& ctx : batch) {
         if (ctx.plan_flows) {
-          for (const net::Flow& f : *ctx.plan_flows) {
-            epoch_demand_->add(f.src, f.dst, f.volume);
-          }
+          epoch_demand_->accumulate(
+              std::span<const net::Flow>(*ctx.plan_flows));
         } else if (ctx.flows) {
-          for (std::size_t i = 0; i < fabric_.nodes(); ++i) {
-            for (std::size_t j = 0; j < fabric_.nodes(); ++j) {
-              if (i != j) epoch_demand_->add(i, j, ctx.flows->volume(i, j));
-            }
-          }
+          epoch_demand_->accumulate(*ctx.flows);
         }
       }
       routed = std::make_shared<const net::RoutedTopology>(
@@ -258,8 +325,13 @@ void Engine::drain_into(EngineReport& report) {
         spec.prenormalized = true;  // memoized to_flows output
         spec.weight = ctx.weight;
         sim_->add_coflow(std::move(spec));
+      } else if (ctx.sparse) {
+        // Registered verbatim: start offsets, duplicate records and the
+        // spec's own prenormalized flag survive (the spec was validated
+        // against the simulator's rules at submission).
+        sim_->add_coflow(net::SparseCoflowSpec(*ctx.sparse));
       } else {
-        sim_->add_coflow(stage_coflow(ctx));
+        sim_->add_coflow(stage_coflow(ctx, options_.sim.completion_epsilon));
       }
     }
     report.sim = sim_->run();

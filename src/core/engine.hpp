@@ -64,6 +64,8 @@
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
 #include "data/workload.hpp"
+#include "net/coflow.hpp"
+#include "net/demand.hpp"
 #include "net/fabric.hpp"
 #include "net/faults.hpp"
 #include "net/flow.hpp"
@@ -121,6 +123,14 @@ struct QuerySpec {
   /// epoch by it; classic allocators ignore it. Flows through the Service
   /// verbatim, so per-tenant weighting composes with WRR admission.
   double weight = 1.0;
+  /// A raw sparse coflow submission (no workload, no placement): the spec is
+  /// registered verbatim in the epoch simulation — per-flow start offsets,
+  /// duplicate (src,dst) records, deadline and weight included — and its
+  /// aggregated demand feeds metrics and the epoch routing. When set, the
+  /// workload/scheduler fields above are ignored and name/arrival/weight are
+  /// taken from the spec. This is the n²-free ingestion path: a 10k-rack
+  /// submission carries only its flow list end to end.
+  std::shared_ptr<const net::SparseCoflowSpec> sparse;
 
   QuerySpec() = default;
   QuerySpec(std::string query_name, data::Workload w,
@@ -179,6 +189,12 @@ class Engine {
   /// place stages; the flow matrix must span the session fabric. Thread-safe
   /// like the QuerySpec overload.
   QueryId submit(std::string name, double arrival, net::FlowMatrix flows);
+
+  /// Enqueue a raw sparse coflow — the scale ingestion path (no dense matrix
+  /// anywhere; see QuerySpec::sparse). Validates the spec against the
+  /// session fabric per validate_sparse_spec. Thread-safe like the QuerySpec
+  /// overload.
+  QueryId submit(net::SparseCoflowSpec spec);
 
   std::size_t pending() const;
 
@@ -255,8 +271,9 @@ class Engine {
   /// runs on the routed topology.
   std::shared_ptr<const net::Topology> topology_;
   std::unique_ptr<net::RoutingPolicy> routing_;
-  /// Aggregate demand of the epoch being drained (reused across drains).
-  std::optional<net::FlowMatrix> epoch_demand_;
+  /// Aggregate sparse demand of the epoch being drained (clear()ed and
+  /// re-accumulated per drain, so the columns' capacity is recycled).
+  std::optional<net::Demand> epoch_demand_;
   /// Guards pending_, next_id_, stats_, and the plan cache. Submissions are
   /// short critical sections; drain holds it only to swap the batch out and
   /// to fold the epoch into stats_/cache — the placement fan-out and the
@@ -279,5 +296,19 @@ class Engine {
   EngineStats stats_;
   QueryId next_id_ = 0;
 };
+
+/// Validate a sparse coflow spec against a fabric of `nodes` ports by the
+/// Simulator's ingestion rules: finite arrival/deadline/weight >= 0, every
+/// flow with endpoints in range, src != dst, finite volume >= 0 and a finite
+/// start offset >= 0. Throws std::invalid_argument on the first violation.
+/// Engine::submit applies this up front even for prenormalized specs, so a
+/// mislabeled spec cannot reach the simulator's trusted path.
+void validate_sparse_spec(const net::SparseCoflowSpec& spec,
+                          std::size_t nodes);
+
+/// Non-throwing form of validate_sparse_spec — the Service's admission
+/// pre-check (drivers must never throw mid-drain).
+bool sparse_spec_valid(const net::SparseCoflowSpec& spec,
+                       std::size_t nodes) noexcept;
 
 }  // namespace ccf::core

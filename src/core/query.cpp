@@ -44,7 +44,9 @@ QueryReport run_query(const std::vector<QueryStage>& stages,
     stage_prepare(ctx);
     stage_place(ctx, *scheduler);
     stage_flows(ctx);
-    stage_flow_matrices.push_back(std::move(*ctx.flows));
+    // The fixed-point loop re-submits each stage's coflow every round; the
+    // dense view round-trips the stage's columnar demand exactly.
+    stage_flow_matrices.push_back(ctx.flows->to_matrix());
   }
 
   // Initial ready times: longest compute-only path.

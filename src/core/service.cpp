@@ -1,6 +1,7 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -65,6 +66,10 @@ Service::Service(ServiceOptions options, EpochCallback on_epoch)
     shard->epoch.shard = s;
     shards_.push_back(std::move(shard));
   }
+  // Topology sessions may leave engine.nodes at 0 (derived from the spec);
+  // pick the resolved width up from the first shard so submit()'s validation
+  // checks against the real fabric.
+  options_.engine.nodes = shards_.front()->engine.fabric().nodes();
   // Drivers start only after every shard exists (pump touches nothing but
   // its own shard, but the vector must be fully built before any reads).
   for (auto& shard : shards_) {
@@ -99,10 +104,17 @@ SubmitResult Service::submit(std::size_t tenant, QuerySpec spec) {
   }
   // Validate here, against the same rules Engine::submit enforces, so the
   // driver thread can never throw: a bad spec is an error code at the door,
-  // not an exception N microseconds later on another thread.
-  if (!spec.workload ||
-      spec.workload->matrix.nodes() != options_.engine.nodes ||
-      spec.arrival < 0.0 || !registry::has_scheduler(spec.scheduler)) {
+  // not an exception N microseconds later on another thread. Sparse
+  // submissions validate their flow list; workload submissions validate the
+  // placement inputs.
+  const bool valid =
+      spec.sparse
+          ? sparse_spec_valid(*spec.sparse, options_.engine.nodes)
+          : (spec.workload &&
+             spec.workload->matrix.nodes() == options_.engine.nodes &&
+             spec.arrival >= 0.0 && std::isfinite(spec.weight) &&
+             spec.weight >= 0.0 && registry::has_scheduler(spec.scheduler));
+  if (!valid) {
     invalid_.fetch_add(1, std::memory_order_relaxed);
     return {SubmitStatus::kInvalid, 0};
   }
@@ -136,6 +148,12 @@ SubmitResult Service::submit(std::size_t tenant, QuerySpec spec) {
   // stays lock-free.
   shard.wake_cv.notify_one();
   return {SubmitStatus::kAccepted, ticket};
+}
+
+SubmitResult Service::submit(std::size_t tenant, net::SparseCoflowSpec spec) {
+  QuerySpec query;
+  query.sparse = std::make_shared<const net::SparseCoflowSpec>(std::move(spec));
+  return submit(tenant, std::move(query));
 }
 
 void Service::form_batch(Shard& shard) {

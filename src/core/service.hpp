@@ -154,6 +154,14 @@ class Service {
   /// state is untouched except the corresponding rejection counter.
   SubmitResult submit(std::size_t tenant, QuerySpec spec);
 
+  /// Sparse submission: the n²-free ingestion path (see QuerySpec::sparse).
+  /// The spec is validated against the shard fabric at the door
+  /// (core::sparse_spec_valid) and carried verbatim into the ShardEpoch
+  /// record, so sparse epochs replay through a fresh Engine exactly like
+  /// workload epochs. This is what lets a 10k-rack epoch run behind the
+  /// service: nothing on the path allocates O(nodes²).
+  SubmitResult submit(std::size_t tenant, net::SparseCoflowSpec spec);
+
   /// Block until every submission accepted so far has been drained and its
   /// epoch callback has returned. Concurrent submitters extend the wait.
   void flush();

@@ -50,8 +50,13 @@ void stage_flows(RunContext& ctx) {
     throw std::logic_error("stage_flows: stage_prepare has not run");
   }
   const auto t0 = Clock::now();
-  ctx.flows = join::assignment_flows(ctx.prepared->residual, ctx.destinations,
-                                     ctx.prepared->initial_flows);
+  // The dense assignment matrix is a stage-local intermediate; only its
+  // sparse columnar aggregate leaves the stage. from_matrix visits entries
+  // row-major, so traffic/flow-count/to_flows downstream reproduce the dense
+  // accumulation order bit-for-bit.
+  const net::FlowMatrix matrix = join::assignment_flows(
+      ctx.prepared->residual, ctx.destinations, ctx.prepared->initial_flows);
+  ctx.flows = net::Demand::from_matrix(matrix);
   ctx.timings.flows_seconds = seconds_since(t0);
   ctx.traffic_bytes = ctx.flows->traffic();
   ctx.flow_count = ctx.flows->flow_count();
@@ -66,12 +71,15 @@ void stage_metrics(RunContext& ctx, const net::Fabric& fabric) {
   ctx.gamma_seconds = net::gamma_bound(loads, fabric);
 }
 
-net::CoflowSpec stage_coflow(RunContext& ctx) {
+net::SparseCoflowSpec stage_coflow(RunContext& ctx,
+                                   double completion_epsilon) {
   if (!ctx.flows) {
     throw std::logic_error("stage_coflow: context has no flows");
   }
-  net::CoflowSpec spec(ctx.name, ctx.arrival, std::move(*ctx.flows));
+  net::SparseCoflowSpec spec(ctx.name, ctx.arrival,
+                             ctx.flows->to_flows(completion_epsilon));
   spec.weight = ctx.weight;
+  spec.prenormalized = true;  // to_flows output is normalized by construction
   ctx.flows.reset();
   return spec;
 }

@@ -17,6 +17,7 @@
 #include "data/workload.hpp"
 #include "join/schedulers.hpp"
 #include "net/coflow.hpp"
+#include "net/demand.hpp"
 #include "net/fabric.hpp"
 #include "net/flow.hpp"
 #include "opt/model.hpp"
@@ -53,7 +54,15 @@ struct RunContext {
   // --- stage products ----------------------------------------------------
   std::optional<PreparedInput> prepared;    ///< after stage_prepare
   opt::Assignment destinations;             ///< after stage_place
-  std::optional<net::FlowMatrix> flows;     ///< after stage_flows (or injected)
+  /// The query's aggregate demand in sparse columnar form, after stage_flows
+  /// (or injected — prebuilt matrices and sparse submissions both land
+  /// here). The dense matrix is a stage-local intermediate only.
+  std::optional<net::Demand> flows;
+  /// Raw sparse submission (Engine/Service SparseCoflowSpec path): the spec
+  /// is registered verbatim at drain — per-flow start offsets, duplicate
+  /// (src,dst) records and the prenormalized flag all survive — while
+  /// `flows` above carries its aggregated demand for metrics/routing.
+  std::shared_ptr<const net::SparseCoflowSpec> sparse;
 
   // --- structured timings and counters -----------------------------------
   StageTimings timings;
@@ -86,8 +95,9 @@ void stage_place(RunContext& ctx, join::PartitionScheduler& scheduler);
 /// Placement with the context's own scheduler (the Engine path).
 void stage_place(RunContext& ctx);
 
-/// Flow generation: residual + placement + skew broadcasts -> FlowMatrix,
-/// plus the traffic / flow-count counters.
+/// Flow generation: residual + placement + skew broadcasts -> dense
+/// assignment matrix -> columnar ctx.flows, plus the traffic / flow-count
+/// counters.
 void stage_flows(RunContext& ctx);
 
 /// Model-level metrics of the generated flows against a concrete fabric:
@@ -95,7 +105,11 @@ void stage_flows(RunContext& ctx);
 void stage_metrics(RunContext& ctx, const net::Fabric& fabric);
 
 /// Coflow registration: consume ctx.flows as the query's coflow (named and
-/// timed after the context). The context's flows are moved out.
-net::CoflowSpec stage_coflow(RunContext& ctx);
+/// timed after the context), normalized at `completion_epsilon` — the flow
+/// list is exactly what the dense matrix's to_flows would produce, so the
+/// spec enters the simulator through the trusted (prenormalized) sparse
+/// ingestion path bit-identically to the historical CoflowSpec route. The
+/// context's flows are cleared.
+net::SparseCoflowSpec stage_coflow(RunContext& ctx, double completion_epsilon);
 
 }  // namespace ccf::core

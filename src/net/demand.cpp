@@ -1,0 +1,210 @@
+#include "net/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ccf::net {
+
+Demand::Demand(std::size_t nodes) : nodes_(nodes) {
+  if (nodes == 0) throw std::invalid_argument("Demand: nodes must be >= 1");
+}
+
+void Demand::add(std::size_t src, std::size_t dst, double bytes) {
+  if (src == dst) {
+    throw std::invalid_argument("Demand::add: intra-rack entry (src == dst " +
+                                std::to_string(src) + ")");
+  }
+  if (src >= nodes_ || dst >= nodes_) {
+    throw std::invalid_argument("Demand::add: endpoint out of range");
+  }
+  if (!(bytes >= 0.0) || !std::isfinite(bytes)) {
+    throw std::invalid_argument("Demand::add: volume must be finite and >= 0");
+  }
+  if (bytes == 0.0) return;  // positive-volume invariant
+  // An append that keeps the columns sorted on a fresh key costs nothing; the
+  // common bulk paths (from_matrix, accumulate of a finalized demand into an
+  // empty one) never trip the lazy sort.
+  if (finalized_ && !src_.empty()) {
+    const std::uint32_t ls = src_.back();
+    const std::uint32_t ld = dst_.back();
+    if (src < ls || (src == ls && dst <= ld)) finalized_ = false;
+  }
+  src_.push_back(static_cast<std::uint32_t>(src));
+  dst_.push_back(static_cast<std::uint32_t>(dst));
+  vol_.push_back(bytes);
+}
+
+void Demand::accumulate(const FlowMatrix& flows) {
+  if (flows.nodes() != nodes_) {
+    throw std::invalid_argument("Demand::accumulate: matrix size mismatch");
+  }
+  const std::size_t n = flows.nodes();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = flows.volume(i, j);
+      if (v > 0.0) add(i, j, v);
+    }
+  }
+}
+
+void Demand::accumulate(std::span<const Flow> flows) {
+  for (const Flow& f : flows) add(f.src, f.dst, f.volume);
+}
+
+void Demand::accumulate(const Demand& other) {
+  if (other.nodes_ > nodes_) {
+    throw std::invalid_argument("Demand::accumulate: demand size mismatch");
+  }
+  other.finalize();
+  for (std::size_t k = 0; k < other.src_.size(); ++k) {
+    add(other.src_[k], other.dst_[k], other.vol_[k]);
+  }
+}
+
+void Demand::clear() noexcept {
+  src_.clear();
+  dst_.clear();
+  vol_.clear();
+  finalized_ = true;
+}
+
+void Demand::widen(std::size_t n) {
+  if (n < nodes_) {
+    throw std::invalid_argument("Demand::widen: cannot shrink the fabric");
+  }
+  nodes_ = n;
+}
+
+std::size_t Demand::size() const {
+  finalize();
+  return src_.size();
+}
+
+std::span<const std::uint32_t> Demand::srcs() const {
+  finalize();
+  return src_;
+}
+
+std::span<const std::uint32_t> Demand::dsts() const {
+  finalize();
+  return dst_;
+}
+
+std::span<const double> Demand::volumes() const {
+  finalize();
+  return vol_;
+}
+
+double Demand::volume(std::size_t src, std::size_t dst) const {
+  finalize();
+  // Binary search the (src,dst) key over the parallel sorted columns.
+  std::size_t lo = 0, hi = src_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (src_[mid] < src || (src_[mid] == src && dst_[mid] < dst)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < src_.size() && src_[lo] == src && dst_[lo] == dst) return vol_[lo];
+  return 0.0;
+}
+
+double Demand::traffic() const {
+  finalize();
+  double t = 0.0;
+  for (const double v : vol_) t += v;
+  return t;
+}
+
+std::size_t Demand::flow_count(double min_volume) const {
+  finalize();
+  std::size_t c = 0;
+  for (const double v : vol_) {
+    if (v > min_volume) ++c;
+  }
+  return c;
+}
+
+std::vector<Flow> Demand::to_flows(double min_volume) const {
+  finalize();
+  std::vector<Flow> flows;
+  flows.reserve(flow_count(min_volume));
+  for (std::size_t k = 0; k < vol_.size(); ++k) {
+    if (vol_[k] > min_volume) {
+      Flow f;
+      f.src = src_[k];
+      f.dst = dst_[k];
+      f.volume = f.remaining = vol_[k];
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+Demand::PortMarginals Demand::marginals() const {
+  finalize();
+  PortMarginals m;
+  m.egress.assign(nodes_, 0.0);
+  m.ingress.assign(nodes_, 0.0);
+  for (std::size_t k = 0; k < vol_.size(); ++k) {
+    m.egress[src_[k]] += vol_[k];
+    m.ingress[dst_[k]] += vol_[k];
+  }
+  return m;
+}
+
+Demand Demand::from_matrix(const FlowMatrix& flows) {
+  Demand d(flows.nodes());
+  d.accumulate(flows);
+  return d;
+}
+
+FlowMatrix Demand::to_matrix() const {
+  finalize();
+  FlowMatrix m(nodes_);
+  for (std::size_t k = 0; k < vol_.size(); ++k) {
+    m.set(src_[k], dst_[k], vol_[k]);
+  }
+  return m;
+}
+
+void Demand::finalize() const {
+  if (finalized_) return;
+  // Stable sort by (src,dst): within one pair the insertion order survives,
+  // so the merge below sums duplicates in exactly the order FlowMatrix::add
+  // would have accumulated them into the dense cell.
+  std::vector<std::size_t> order(src_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (src_[a] != src_[b]) return src_[a] < src_[b];
+                     return dst_[a] < dst_[b];
+                   });
+  std::vector<std::uint32_t> src, dst;
+  std::vector<double> vol;
+  src.reserve(order.size());
+  dst.reserve(order.size());
+  vol.reserve(order.size());
+  for (const std::size_t k : order) {
+    if (!src.empty() && src.back() == src_[k] && dst.back() == dst_[k]) {
+      vol.back() += vol_[k];
+    } else {
+      src.push_back(src_[k]);
+      dst.push_back(dst_[k]);
+      vol.push_back(vol_[k]);
+    }
+  }
+  src_ = std::move(src);
+  dst_ = std::move(dst);
+  vol_ = std::move(vol);
+  finalized_ = true;
+}
+
+}  // namespace ccf::net

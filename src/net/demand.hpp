@@ -1,0 +1,113 @@
+// Columnar coflow demand.
+//
+// The paper's co-optimization loop (placement x routing x bandwidth) operates
+// on an n x n demand, but realistic datacenter demand is extremely sparse
+// (Qiu/Stein/Zhong; Shi et al.) — at 10k racks the dense matrix alone costs
+// ~800 MB per coflow while a shuffle touches a few dozen pairs. Demand is the
+// sparse-first representation every layer shares: sorted (src,dst,volume)
+// triples in columnar storage plus per-port marginals, with a
+// from_matrix/to_matrix bridge for the dense reference surface.
+//
+// Equivalence contract (pinned by tests/net/demand_test.cpp and
+// tests/net/demand_equivalence_test.cpp): every consumer of a FlowMatrix that
+// iterates entries row-major ascending and skips non-positive volumes sees
+// the exact same entry sequence from a Demand's sorted triples, and every
+// floating-point accumulation happens in the same order — so metrics,
+// routing, ordering and simulation stay bit-identical to the dense path.
+// Duplicate (src,dst) insertions merge by summing in insertion order, which
+// is FlowMatrix::add's accumulation order.
+//
+// Invariants:
+//  * src != dst (local moves consume no network; Network::append_links
+//    requires it) — add() rejects intra-rack entries.
+//  * volumes are finite and >= 0; zero-volume insertions are dropped, so the
+//    triple set holds strictly positive volumes only.
+//  * after finalize (any read accessor), triples are unique per (src,dst) and
+//    sorted ascending by (src, dst).
+//
+// The sort/merge is lazy and cached: appends are O(1), the first read after a
+// batch of appends pays one sort. Accessors are const but not thread-safe
+// against each other until the demand has been finalized once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace ccf::net {
+
+class Demand {
+ public:
+  /// An empty demand over `nodes` ports (throws std::invalid_argument on 0).
+  explicit Demand(std::size_t nodes);
+
+  std::size_t nodes() const noexcept { return nodes_; }
+
+  /// Add `bytes` to the (src,dst) pair. Duplicate pairs merge by summing in
+  /// insertion order. Throws std::invalid_argument on src == dst, endpoints
+  /// out of range, or a negative/non-finite volume; zero volumes are dropped.
+  void add(std::size_t src, std::size_t dst, double bytes);
+
+  /// Accumulate a dense matrix's off-diagonal positive entries (row-major).
+  void accumulate(const FlowMatrix& flows);
+  /// Accumulate flow records by volume (e.g. a SparseCoflowSpec's flow list).
+  /// Validates each record like add().
+  void accumulate(std::span<const Flow> flows);
+  /// Accumulate another demand's merged triples (in its sorted order).
+  void accumulate(const Demand& other);
+
+  /// Drop every triple but keep the node count and the columns' capacity —
+  /// the epoch-aggregation reuse path.
+  void clear() noexcept;
+  /// Re-interpret the triples over a wider fabric (n >= nodes()); used to pad
+  /// CSV-ingested demand to a topology's host count without rebuilding.
+  void widen(std::size_t n);
+
+  // --- columnar views (finalized: unique pairs, ascending (src,dst)) -------
+  std::size_t size() const;  ///< distinct (src,dst) pairs
+  bool empty() const { return size() == 0; }
+  std::span<const std::uint32_t> srcs() const;
+  std::span<const std::uint32_t> dsts() const;
+  std::span<const double> volumes() const;
+
+  // --- dense-view adapter --------------------------------------------------
+  /// Volume of one pair (0.0 when absent). O(log size) binary search; meant
+  /// for small-n consumers and tests, not inner loops — iterate the columns.
+  double volume(std::size_t src, std::size_t dst) const;
+
+  /// Sum of all volumes (== FlowMatrix::traffic of the dense view).
+  double traffic() const;
+  /// Number of pairs with volume > min_volume (== FlowMatrix::flow_count).
+  std::size_t flow_count(double min_volume = 1e-6) const;
+  /// Materialize pairs above `min_volume` as Flow records, ascending
+  /// (src,dst) with remaining = volume — bit-identical to
+  /// FlowMatrix::to_flows of the dense view.
+  std::vector<Flow> to_flows(double min_volume = 1e-6) const;
+
+  /// Per-port marginal totals (the sparse counterpart of the dense per-port
+  /// load vectors; accumulated in sorted-triple order).
+  struct PortMarginals {
+    std::vector<double> egress;   ///< bytes leaving each node
+    std::vector<double> ingress;  ///< bytes entering each node
+  };
+  PortMarginals marginals() const;
+
+  // --- dense bridge --------------------------------------------------------
+  static Demand from_matrix(const FlowMatrix& flows);
+  FlowMatrix to_matrix() const;
+
+ private:
+  void finalize() const;
+
+  std::size_t nodes_;
+  // Columns are mutable so the lazy sort/merge can run under const accessors.
+  mutable std::vector<std::uint32_t> src_;
+  mutable std::vector<std::uint32_t> dst_;
+  mutable std::vector<double> vol_;
+  mutable bool finalized_ = true;  ///< sorted, unique pairs
+};
+
+}  // namespace ccf::net

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
+#include <span>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -17,59 +19,89 @@ bool numeric_cell(const std::string& s) {
          s.front() == '-' || s.front() == '+' || s.front() == '.';
 }
 
-}  // namespace
-
-FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes) {
-  auto rows = util::read_csv_file(path);
-  if (!rows.empty() && !rows.front().empty() && !numeric_cell(rows.front()[0])) {
-    rows.erase(rows.begin());  // header
+// Split one flow-CSV line in place (flow rows are bare numbers, never
+// quoted, so a comma scan suffices — the full RFC-4180 reader would buffer
+// the whole file).
+void split_cells(const std::string& line, std::vector<std::string>& cells) {
+  cells.clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    cells.push_back(line.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  struct Entry {
-    std::size_t src, dst;
-    double bytes;
-  };
-  std::vector<Entry> entries;
-  std::size_t max_node = 0;
-  for (const auto& row : rows) {
-    if (row.size() < 3) {
-      throw std::invalid_argument(
-          "flow_matrix_from_csv: expected src,dst,bytes rows");
-    }
-    Entry e{};
-    e.src = static_cast<std::size_t>(std::stoull(row[0]));
-    e.dst = static_cast<std::size_t>(std::stoull(row[1]));
-    e.bytes = std::stod(row[2]);
-    if (e.src == e.dst) {
-      throw std::invalid_argument("flow_matrix_from_csv: src == dst row");
-    }
-    if (e.bytes < 0.0) {
-      throw std::invalid_argument("flow_matrix_from_csv: negative volume");
-    }
-    max_node = std::max({max_node, e.src, e.dst});
-    entries.push_back(e);
-  }
-  const std::size_t n = nodes == 0 ? max_node + 1 : nodes;
-  if (max_node >= n) {
-    throw std::invalid_argument("flow_matrix_from_csv: node id out of range");
-  }
-  FlowMatrix m(n);
-  for (const Entry& e : entries) m.add(e.src, e.dst, e.bytes);
-  return m;
 }
 
-void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path) {
+}  // namespace
+
+Demand demand_from_csv(const std::string& path, std::size_t nodes) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("demand_from_csv: cannot open " + path);
+  }
+  // Stream triples straight off the file: one line, one (src,dst,bytes)
+  // record. Nothing here is ever nodes x nodes.
+  std::vector<std::uint32_t> srcs, dsts;
+  std::vector<double> vols;
+  std::vector<std::string> cells;
+  std::size_t max_node = 0;
+  bool first = true;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    split_cells(line, cells);
+    if (first) {
+      first = false;
+      if (!numeric_cell(cells[0])) continue;  // header
+    }
+    if (cells.size() < 3) {
+      throw std::invalid_argument(
+          "demand_from_csv: expected src,dst,bytes rows");
+    }
+    const auto src = static_cast<std::size_t>(std::stoull(cells[0]));
+    const auto dst = static_cast<std::size_t>(std::stoull(cells[1]));
+    const double bytes = std::stod(cells[2]);
+    if (src == dst) {
+      throw std::invalid_argument("demand_from_csv: src == dst row");
+    }
+    if (!(bytes >= 0.0)) {
+      throw std::invalid_argument("demand_from_csv: negative volume");
+    }
+    max_node = std::max({max_node, src, dst});
+    if (nodes != 0 && max_node >= nodes) {
+      throw std::invalid_argument("demand_from_csv: node id out of range");
+    }
+    srcs.push_back(static_cast<std::uint32_t>(src));
+    dsts.push_back(static_cast<std::uint32_t>(dst));
+    vols.push_back(bytes);
+  }
+  Demand demand(nodes == 0 ? max_node + 1 : nodes);
+  for (std::size_t k = 0; k < vols.size(); ++k) {
+    demand.add(srcs[k], dsts[k], vols[k]);
+  }
+  return demand;
+}
+
+void demand_to_csv(const Demand& demand, const std::string& path) {
   util::CsvWriter out(path);
   out.header({"src", "dst", "bytes"});
   char buf[64];
-  for (std::size_t i = 0; i < flows.nodes(); ++i) {
-    for (std::size_t j = 0; j < flows.nodes(); ++j) {
-      if (i == j) continue;
-      const double v = flows.volume(i, j);
-      if (v <= 0.0) continue;
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      out.row({std::to_string(i), std::to_string(j), buf});
-    }
+  const std::span<const std::uint32_t> srcs = demand.srcs();
+  const std::span<const std::uint32_t> dsts = demand.dsts();
+  const std::span<const double> vols = demand.volumes();
+  for (std::size_t k = 0; k < vols.size(); ++k) {
+    std::snprintf(buf, sizeof buf, "%.17g", vols[k]);
+    out.row({std::to_string(srcs[k]), std::to_string(dsts[k]), buf});
   }
+}
+
+FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes) {
+  return demand_from_csv(path, nodes).to_matrix();
+}
+
+void flow_matrix_to_csv(const FlowMatrix& flows, const std::string& path) {
+  demand_to_csv(Demand::from_matrix(flows), path);
 }
 
 FaultSchedule fault_schedule_from_csv(const std::string& path) {

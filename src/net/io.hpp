@@ -1,19 +1,32 @@
-// Flow-matrix and fault-schedule serialization: "src,dst,bytes" and
+// Demand and fault-schedule serialization: "src,dst,bytes" and
 // "time,kind,id,side,factor" CSVs (each with an optional header row), the
 // interchange formats of the ccf_sim tool. Diagonal flow entries are
-// rejected as they would silently carry no traffic.
+// rejected as they would silently carry no traffic. Flow CSVs stream into
+// the columnar net::Demand — memory scales with the triple count, never
+// with nodes² — and the dense FlowMatrix reader is a thin bridge on top.
 #pragma once
 
 #include <string>
 
+#include "net/demand.hpp"
 #include "net/faults.hpp"
 #include "net/flow.hpp"
 
 namespace ccf::net {
 
-/// Parse a flow list CSV into an n x n matrix. `nodes` == 0 infers the node
-/// count as max(src,dst)+1. Lines "src,dst,bytes"; a first row of
-/// non-numeric cells is treated as a header and skipped.
+/// Stream a flow list CSV ("src,dst,bytes" rows, optional header) into a
+/// columnar demand. `nodes` == 0 infers the node count as max(src,dst)+1.
+/// Duplicate (src,dst) rows merge by summing in file order (FlowMatrix::add's
+/// accumulation order). Throws std::invalid_argument on src == dst, a
+/// negative/non-finite volume, an id at or past `nodes`, or a short row.
+Demand demand_from_csv(const std::string& path, std::size_t nodes = 0);
+
+/// Write the demand's merged triples as "src,dst,bytes" with a header row,
+/// ascending (src,dst) — byte-identical to flow_matrix_to_csv of the dense
+/// view. Round-trips with demand_from_csv.
+void demand_to_csv(const Demand& demand, const std::string& path);
+
+/// Parse a flow list CSV into an n x n matrix (demand_from_csv densified).
 FlowMatrix flow_matrix_from_csv(const std::string& path, std::size_t nodes = 0);
 
 /// Write the off-diagonal entries as "src,dst,bytes" with a header row.

@@ -7,23 +7,19 @@
 
 namespace ccf::net {
 
-PortLoads port_loads(const FlowMatrix& flows) {
-  const std::size_t n = flows.nodes();
+PortLoads port_loads(const Demand& demand) {
+  Demand::PortMarginals m = demand.marginals();
   PortLoads loads;
-  loads.egress.assign(n, 0.0);
-  loads.ingress.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const double v = flows.volume(i, j);
-      loads.egress[i] += v;
-      loads.ingress[j] += v;
-    }
-  }
+  loads.egress = std::move(m.egress);
+  loads.ingress = std::move(m.ingress);
   loads.max_egress = *std::max_element(loads.egress.begin(), loads.egress.end());
   loads.max_ingress =
       *std::max_element(loads.ingress.begin(), loads.ingress.end());
   return loads;
+}
+
+PortLoads port_loads(const FlowMatrix& flows) {
+  return port_loads(Demand::from_matrix(flows));
 }
 
 double gamma_bound(const PortLoads& loads, const Fabric& fabric) {
@@ -38,25 +34,25 @@ double gamma_bound(const PortLoads& loads, const Fabric& fabric) {
   return g;
 }
 
-std::vector<double> link_loads(const FlowMatrix& flows, const Network& network) {
-  if (flows.nodes() != network.nodes()) {
+std::vector<double> link_loads(const Demand& demand, const Network& network) {
+  if (demand.nodes() != network.nodes()) {
     throw std::invalid_argument("link_loads: network size mismatch");
   }
   std::vector<double> loads(network.link_count(), 0.0);
   std::vector<Network::LinkId> scratch;
-  const std::size_t n = flows.nodes();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const double v = flows.volume(i, j);
-      if (v <= 0.0) continue;
-      scratch.clear();
-      network.append_links(static_cast<std::uint32_t>(i),
-                           static_cast<std::uint32_t>(j), scratch);
-      for (const auto l : scratch) loads[l] += v;
-    }
+  const std::span<const std::uint32_t> srcs = demand.srcs();
+  const std::span<const std::uint32_t> dsts = demand.dsts();
+  const std::span<const double> vols = demand.volumes();
+  for (std::size_t k = 0; k < vols.size(); ++k) {
+    scratch.clear();
+    network.append_links(srcs[k], dsts[k], scratch);
+    for (const auto l : scratch) loads[l] += vols[k];
   }
   return loads;
+}
+
+std::vector<double> link_loads(const FlowMatrix& flows, const Network& network) {
+  return link_loads(Demand::from_matrix(flows), network);
 }
 
 double total_weighted_cct(const SimReport& report) {
@@ -79,14 +75,18 @@ double weighted_average_cct(const SimReport& report) {
   return w > 0.0 ? s / w : 0.0;
 }
 
-double gamma_bound(const FlowMatrix& flows, const Network& network) {
-  const std::vector<double> loads = link_loads(flows, network);
+double gamma_bound(const Demand& demand, const Network& network) {
+  const std::vector<double> loads = link_loads(demand, network);
   double g = 0.0;
   for (std::size_t l = 0; l < loads.size(); ++l) {
     g = std::max(g, loads[l] / network.link_capacity(
                                    static_cast<Network::LinkId>(l)));
   }
   return g;
+}
+
+double gamma_bound(const FlowMatrix& flows, const Network& network) {
+  return gamma_bound(Demand::from_matrix(flows), network);
 }
 
 }  // namespace ccf::net

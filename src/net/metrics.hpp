@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "net/demand.hpp"
 #include "net/fabric.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
@@ -31,18 +32,27 @@ struct PortLoads {
   }
 };
 
-/// Compute per-port loads of a flow matrix (off-diagonal volumes only).
+/// Compute per-port loads of a sparse demand (the core implementation; the
+/// marginals accumulate in sorted-triple order, which matches the dense
+/// row-major order bit-for-bit).
+PortLoads port_loads(const Demand& demand);
+
+/// Dense bridge: per-port loads of a flow matrix (off-diagonal volumes only).
 PortLoads port_loads(const FlowMatrix& flows);
 
 /// Γ: the single-coflow CCT lower bound, achieved by MADD — the maximum over
 /// all links of (bytes through the link / link capacity). Works for any
 /// Network (flat fabric or rack topology).
+double gamma_bound(const Demand& demand, const Network& network);
 double gamma_bound(const FlowMatrix& flows, const Network& network);
 
 /// Γ computed directly from port-load vectors (flat-fabric fast path).
 double gamma_bound(const PortLoads& loads, const Fabric& fabric);
 
-/// Per-link byte loads of a flow matrix on a network, indexed by LinkId.
+/// Per-link byte loads of a demand on a network, indexed by LinkId. The
+/// FlowMatrix overload bridges through Demand::from_matrix (identical entry
+/// order, so identical loads).
+std::vector<double> link_loads(const Demand& demand, const Network& network);
 std::vector<double> link_loads(const FlowMatrix& flows, const Network& network);
 
 struct SimReport;  // simulator.hpp

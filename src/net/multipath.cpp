@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -131,24 +132,23 @@ Routing route_least_loaded(const MultiPathFabric& fabric,
 
 namespace {
 
-/// Per-link byte loads of a demand matrix under a route choice.
+/// Per-link byte loads of an aggregate demand under a route choice. The
+/// sorted triples visit the same pairs in the same order as the historical
+/// dense ascending scan, so the load sums are bit-identical.
 std::vector<double> routed_loads(const Topology& topology,
-                                 const FlowMatrix& flows,
+                                 const Demand& demand,
                                  const RouteChoice& choice) {
   const std::size_t n = topology.nodes();
   std::vector<double> loads(topology.link_count(), 0.0);
   std::vector<Topology::LinkId> scratch;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const double v = flows.volume(i, j);
-      if (v <= 0.0) continue;
-      scratch.clear();
-      topology.append_path_links(static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(j),
-                                 choice[i * n + j], scratch);
-      for (const auto l : scratch) loads[l] += v;
-    }
+  const std::span<const std::uint32_t> srcs = demand.srcs();
+  const std::span<const std::uint32_t> dsts = demand.dsts();
+  const std::span<const double> vols = demand.volumes();
+  for (std::size_t k = 0; k < vols.size(); ++k) {
+    scratch.clear();
+    topology.append_path_links(srcs[k], dsts[k],
+                               choice[srcs[k] * n + dsts[k]], scratch);
+    for (const auto l : scratch) loads[l] += vols[k];
   }
   return loads;
 }
@@ -165,18 +165,23 @@ double max_utilization(const Topology& topology,
 
 }  // namespace
 
-double routed_gamma(const Topology& topology, const FlowMatrix& flows,
+double routed_gamma(const Topology& topology, const Demand& demand,
                     const RouteChoice& choice) {
-  if (flows.nodes() != topology.nodes()) {
+  if (demand.nodes() != topology.nodes()) {
     throw std::invalid_argument("routed_gamma: size mismatch");
   }
-  return max_utilization(topology, routed_loads(topology, flows, choice));
+  return max_utilization(topology, routed_loads(topology, demand, choice));
 }
 
-RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
+double routed_gamma(const Topology& topology, const FlowMatrix& flows,
+                    const RouteChoice& choice) {
+  return routed_gamma(topology, Demand::from_matrix(flows), choice);
+}
+
+RouteChoice route_joint(const Topology& topology, const Demand& demand,
                         const JointRouteOptions& options) {
   const std::size_t n = topology.nodes();
-  if (flows.nodes() != n) {
+  if (demand.nodes() != n) {
     throw std::invalid_argument("route_joint: size mismatch");
   }
   RouteChoice ecmp = route_ecmp(topology);
@@ -185,13 +190,13 @@ RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
   // Warm start: the better of static ECMP and the volume-greedy pass. ECMP
   // is one of the candidates, so the never-worse-than-ECMP invariant holds
   // from the first iterate on.
-  const double gamma_ecmp = routed_gamma(topology, flows, ecmp);
-  RouteChoice current = route_greedy(topology, flows);
-  std::vector<double> loads = routed_loads(topology, flows, current);
+  const double gamma_ecmp = routed_gamma(topology, demand, ecmp);
+  RouteChoice current = route_greedy(topology, demand);
+  std::vector<double> loads = routed_loads(topology, demand, current);
   double best_gamma = max_utilization(topology, loads);
   if (gamma_ecmp < best_gamma) {
     current = std::move(ecmp);
-    loads = routed_loads(topology, flows, current);
+    loads = routed_loads(topology, demand, current);
     best_gamma = gamma_ecmp;
   }
   if (best_gamma <= 0.0) return current;  // no demand
@@ -225,21 +230,18 @@ RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
       double volume;
     };
     std::vector<Crossing> crossing;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double v = flows.volume(i, j);
-        if (v <= 0.0) continue;
+    {
+      const std::span<const std::uint32_t> srcs = demand.srcs();
+      const std::span<const std::uint32_t> dsts = demand.dsts();
+      const std::span<const double> vols = demand.volumes();
+      for (std::size_t k = 0; k < vols.size(); ++k) {
         old_links.clear();
-        topology.append_path_links(static_cast<std::uint32_t>(i),
-                                   static_cast<std::uint32_t>(j),
-                                   current[i * n + j], old_links);
+        topology.append_path_links(srcs[k], dsts[k],
+                                   current[srcs[k] * n + dsts[k]], old_links);
         if (std::find(old_links.begin(), old_links.end(),
                       static_cast<Topology::LinkId>(bottleneck)) !=
             old_links.end()) {
-          crossing.push_back(
-              {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
-               v});
+          crossing.push_back({srcs[k], dsts[k], vols[k]});
         }
       }
     }
@@ -316,13 +318,21 @@ RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
   return current;
 }
 
+RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
+                        const JointRouteOptions& options) {
+  if (flows.nodes() != topology.nodes()) {
+    throw std::invalid_argument("route_joint: size mismatch");
+  }
+  return route_joint(topology, Demand::from_matrix(flows), options);
+}
+
 namespace {
 
 class EcmpPolicy final : public RoutingPolicy {
  public:
   std::string_view name() const noexcept override { return "ecmp"; }
   RouteChoice choose(const Topology& topology,
-                     const FlowMatrix& /*flows*/) const override {
+                     const Demand& /*demand*/) const override {
     return route_ecmp(topology);
   }
 };
@@ -331,8 +341,8 @@ class GreedyPolicy final : public RoutingPolicy {
  public:
   std::string_view name() const noexcept override { return "greedy"; }
   RouteChoice choose(const Topology& topology,
-                     const FlowMatrix& flows) const override {
-    return route_greedy(topology, flows);
+                     const Demand& demand) const override {
+    return route_greedy(topology, demand);
   }
 };
 
@@ -340,8 +350,8 @@ class JointPolicy final : public RoutingPolicy {
  public:
   std::string_view name() const noexcept override { return "joint"; }
   RouteChoice choose(const Topology& topology,
-                     const FlowMatrix& flows) const override {
-    return route_joint(topology, flows);
+                     const Demand& demand) const override {
+    return route_joint(topology, demand);
   }
 };
 

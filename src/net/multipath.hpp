@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/demand.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -153,13 +154,21 @@ struct JointRouteOptions {
 /// the fill (Γ of the routed network = the MADD fill's single-coflow CCT),
 /// and keep the round only if Γ improved. By construction the result is
 /// never worse than static ECMP on the same instance; the routing property
-/// suite pins that invariant.
+/// suite pins that invariant. The sparse Demand overload is the core
+/// implementation (it scans only the aggregate's nonzero pairs); the
+/// FlowMatrix overload bridges through Demand::from_matrix, whose triple
+/// order matches the dense ascending scan, so both are bit-identical.
+RouteChoice route_joint(const Topology& topology, const Demand& demand,
+                        const JointRouteOptions& options = {});
 RouteChoice route_joint(const Topology& topology, const FlowMatrix& flows,
                         const JointRouteOptions& options = {});
 
-/// Γ of a demand matrix on a topology under a route choice: the max over all
-/// links of (bytes routed through the link / link capacity) — the analytic
-/// single-coflow CCT of the routed network, and route_joint's objective.
+/// Γ of an aggregate demand on a topology under a route choice: the max over
+/// all links of (bytes routed through the link / link capacity) — the
+/// analytic single-coflow CCT of the routed network, and route_joint's
+/// objective.
+double routed_gamma(const Topology& topology, const Demand& demand,
+                    const RouteChoice& choice);
 double routed_gamma(const Topology& topology, const FlowMatrix& flows,
                     const RouteChoice& choice);
 
@@ -170,10 +179,14 @@ class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;
   virtual std::string_view name() const noexcept = 0;
-  /// Produce the path choice for an aggregate demand matrix ("flows" may be
-  /// all zeros — ECMP ignores it entirely).
+  /// Produce the path choice for an aggregate demand ("demand" may be empty
+  /// — ECMP ignores it entirely).
   virtual RouteChoice choose(const Topology& topology,
-                             const FlowMatrix& flows) const = 0;
+                             const Demand& demand) const = 0;
+  /// Dense-view convenience bridge (tests and small-n callers).
+  RouteChoice choose(const Topology& topology, const FlowMatrix& flows) const {
+    return choose(topology, Demand::from_matrix(flows));
+  }
 };
 
 /// Resolve a routing policy by name: "ecmp" (static hash), "greedy"

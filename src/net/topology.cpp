@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -742,9 +743,9 @@ RouteChoice route_collapsed(const Topology& topology) {
   return RouteChoice(n * n, 0);
 }
 
-RouteChoice route_greedy(const Topology& topology, const FlowMatrix& flows) {
+RouteChoice route_greedy(const Topology& topology, const Demand& demand) {
   const std::size_t n = topology.nodes();
-  if (flows.nodes() != n) {
+  if (demand.nodes() != n) {
     throw std::invalid_argument("route_greedy: size mismatch");
   }
   RouteChoice choice = route_ecmp(topology);
@@ -754,14 +755,13 @@ RouteChoice route_greedy(const Topology& topology, const FlowMatrix& flows) {
     double volume;
   };
   std::vector<Entry> pending;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const double v = flows.volume(i, j);
-      if (v > 0.0) {
-        pending.push_back(
-            {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), v});
-      }
+  {
+    const std::span<const std::uint32_t> srcs = demand.srcs();
+    const std::span<const std::uint32_t> dsts = demand.dsts();
+    const std::span<const double> vols = demand.volumes();
+    pending.reserve(vols.size());
+    for (std::size_t k = 0; k < vols.size(); ++k) {
+      pending.push_back({srcs[k], dsts[k], vols[k]});
     }
   }
   std::sort(pending.begin(), pending.end(), [](const Entry& a, const Entry& b) {
@@ -795,6 +795,13 @@ RouteChoice route_greedy(const Topology& topology, const FlowMatrix& flows) {
     for (const auto l : scratch) load[l] += e.volume;
   }
   return choice;
+}
+
+RouteChoice route_greedy(const Topology& topology, const FlowMatrix& flows) {
+  if (flows.nodes() != topology.nodes()) {
+    throw std::invalid_argument("route_greedy: size mismatch");
+  }
+  return route_greedy(topology, Demand::from_matrix(flows));
 }
 
 }  // namespace ccf::net

@@ -42,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/demand.hpp"
 #include "net/fabric.hpp"
 #include "net/flow.hpp"
 #include "net/network.hpp"
@@ -218,7 +219,10 @@ RouteChoice route_collapsed(const Topology& topology);
 
 /// Volume-greedy: flows in descending volume order each take the path that
 /// minimizes the resulting worst utilization over the path's links; pairs
-/// without volume keep their ECMP path.
+/// without volume keep their ECMP path. The sparse Demand overload is the
+/// core implementation; the FlowMatrix overload bridges through
+/// Demand::from_matrix bit-identically (same candidate set, same tie order).
+RouteChoice route_greedy(const Topology& topology, const Demand& demand);
 RouteChoice route_greedy(const Topology& topology, const FlowMatrix& flows);
 
 }  // namespace ccf::net

@@ -112,22 +112,39 @@ void OrderingProblem::add_coflow(double w,
   row_offset.push_back(static_cast<std::uint32_t>(demand_link.size()));
 }
 
-void OrderingProblem::add_coflow(double w, const net::FlowMatrix& flows,
-                                 const net::Network& network) {
-  if (network.link_count() != capacity.size()) {
-    throw std::invalid_argument(
-        "OrderingProblem: network does not match the problem's capacities");
-  }
-  const std::vector<double> loads = net::link_loads(flows, network);
-  std::vector<std::uint32_t> links;
-  std::vector<double> nonzero;
+namespace {
+
+/// Compact a dense per-link load vector to the (links, loads) pair
+/// OrderingProblem::add_coflow consumes.
+void compact_loads(const std::vector<double>& loads,
+                   std::vector<std::uint32_t>& links,
+                   std::vector<double>& nonzero) {
   for (std::uint32_t l = 0; l < loads.size(); ++l) {
     if (loads[l] > 0.0) {
       links.push_back(l);
       nonzero.push_back(loads[l]);
     }
   }
+}
+
+}  // namespace
+
+void OrderingProblem::add_coflow(double w, const net::Demand& demand,
+                                 const net::Network& network) {
+  if (network.link_count() != capacity.size()) {
+    throw std::invalid_argument(
+        "OrderingProblem: network does not match the problem's capacities");
+  }
+  const std::vector<double> loads = net::link_loads(demand, network);
+  std::vector<std::uint32_t> links;
+  std::vector<double> nonzero;
+  compact_loads(loads, links, nonzero);
   add_coflow(w, links, nonzero);
+}
+
+void OrderingProblem::add_coflow(double w, const net::FlowMatrix& flows,
+                                 const net::Network& network) {
+  add_coflow(w, net::Demand::from_matrix(flows), network);
 }
 
 void sincronia_order(const OrderingProblem& problem,

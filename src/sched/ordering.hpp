@@ -51,6 +51,7 @@
 #include "net/allocator.hpp"
 
 namespace ccf::net {
+class Demand;
 class FlowMatrix;
 class Network;
 }  // namespace ccf::net
@@ -82,9 +83,12 @@ struct OrderingProblem {
   void add_coflow(double w, std::span<const std::uint32_t> links,
                   std::span<const double> loads);
 
-  /// Convenience: append a coflow from its dense flow matrix on a network
+  /// Convenience: append a coflow from its sparse demand on a network
   /// (per-link loads via net::link_loads). The network must match the
   /// capacities this problem was reset with.
+  void add_coflow(double w, const net::Demand& demand,
+                  const net::Network& network);
+  /// Dense-view bridge of the same (bit-identical per-link loads).
   void add_coflow(double w, const net::FlowMatrix& flows,
                   const net::Network& network);
 };

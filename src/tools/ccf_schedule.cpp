@@ -2,13 +2,16 @@
 //
 //   ccf_schedule --chunks chunks.csv [--scheduler ccf] [--port-rate 125M]
 //                [--out assignment.csv] [--export-lp model.lp]
-//                [--fail-nodes 0,3]
+//                [--sparse-flows flows.csv] [--fail-nodes 0,3]
 //
 // chunks.csv rows: partition,node,bytes (optional header). Prints the
 // placement summary (traffic, bottleneck T, predicted CCT) for the chosen
 // scheduler, optionally writes the assignment as CSV and/or exports the
 // exact MILP in CPLEX-LP format for an external solver (the paper's Gurobi
-// path). --fail-nodes re-plans the placement as if those destinations had
+// path). --sparse-flows writes the placement's shuffle as src,dst,bytes flow
+// triples — the hand-off format `ccf_sim --flows ... --sparse-flows` ingests
+// without ever building a dense matrix.
+// --fail-nodes re-plans the placement as if those destinations had
 // failed (join::replace_failed_destinations) and reports/writes the repaired
 // plan alongside the original. The scheduler list in --help is the live
 // policy registry, not a hard-coded string.
@@ -20,6 +23,7 @@
 #include "data/io.hpp"
 #include "join/flows.hpp"
 #include "join/schedulers.hpp"
+#include "net/io.hpp"
 #include "net/metrics.hpp"
 #include "opt/model.hpp"
 #include "tools/common.hpp"
@@ -38,6 +42,8 @@ int main(int argc, char** argv) {
     ccf::tools::add_port_rate_flag(args);
     args.add_flag("out", "", "write the assignment as partition,node CSV");
     args.add_flag("export-lp", "", "write model (3) in CPLEX-LP format");
+    args.add_flag("sparse-flows", "",
+                  "write the placement's flows as src,dst,bytes triples");
     args.add_flag("fail-nodes", "",
                   "comma-separated destinations to fail and re-plan around");
     args.parse(argc, argv);
@@ -60,7 +66,7 @@ int main(int argc, char** argv) {
     const auto scheduler =
         ccf::core::registry::make_scheduler(args.get("scheduler"));
     ccf::opt::Assignment dest = scheduler->schedule(problem);
-    const auto flows = ccf::join::assignment_flows(matrix, dest);
+    auto flows = ccf::join::assignment_flows(matrix, dest);
     const double rate = ccf::tools::port_rate(args);
     const ccf::net::Fabric fabric(matrix.nodes(), rate);
 
@@ -79,7 +85,7 @@ int main(int argc, char** argv) {
           ccf::tools::parse_node_list(args.get("fail-nodes"));
       dest = ccf::join::replace_failed_destinations(problem, std::move(dest),
                                                     failed);
-      const auto repaired = ccf::join::assignment_flows(matrix, dest);
+      auto repaired = ccf::join::assignment_flows(matrix, dest);
       t.add_row({"failed nodes", args.get("fail-nodes")});
       t.add_row({"repaired traffic",
                  ccf::util::format_bytes(repaired.traffic())});
@@ -88,8 +94,16 @@ int main(int argc, char** argv) {
       t.add_row({"repaired CCT (MADD)",
                  ccf::util::format_seconds(
                      ccf::net::gamma_bound(repaired, fabric))});
+      flows = std::move(repaired);  // --sparse-flows exports the final plan
     }
     t.print(std::cout);
+
+    if (!args.get("sparse-flows").empty()) {
+      ccf::net::demand_to_csv(ccf::net::Demand::from_matrix(flows),
+                              args.get("sparse-flows"));
+      std::cout << "wrote flow triples to " << args.get("sparse-flows")
+                << "\n";
+    }
 
     if (!args.get("out").empty()) {
       ccf::util::CsvWriter out(args.get("out"));

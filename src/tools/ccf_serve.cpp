@@ -5,7 +5,7 @@
 //             [--shards 1] [--tenants 0] [--rate-qps 0] [--burst 64]
 //             [--batch 2] [--wait-us 200] [--queue 1024]
 //             [--queries 50000] [--target-qps 0]
-//             [--working-set 32] [--seed 300]
+//             [--working-set 32] [--seed 300] [--sparse]
 //
 // The stream is the engine-throughput working set: --working-set prepared
 // star-schema joins cycling round-robin over the tenants (one tenant per
@@ -14,6 +14,10 @@
 // --target-qps paces submissions as an open-loop arrival process (0 = push
 // as fast as admission allows); --rate-qps arms each tenant's token bucket,
 // so a paced run over the limit shows kThrottled rejections at the door.
+// --sparse switches the stream to synthetic sparse coflows (net/trace.hpp's
+// heavy-tailed generator over --nodes racks) submitted as SparseCoflowSpec
+// flow lists — the n²-free ingestion path, which is what lets a 10k-rack
+// epoch run behind the service: try --sparse --nodes 10000 --queries 10000.
 // Prints a per-tenant admission table and the service summary (epochs,
 // sustained queries/sec, submit-to-drain latency percentiles).
 #include <algorithm>
@@ -29,8 +33,10 @@
 #include "core/registry.hpp"
 #include "core/service.hpp"
 #include "data/workload.hpp"
+#include "net/trace.hpp"
 #include "tools/common.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -90,6 +96,9 @@ int main(int argc, char** argv) {
                   "open-loop arrival rate (0 = as fast as possible)");
     args.add_flag("working-set", "32", "distinct prepared workloads");
     args.add_flag("seed", "300", "workload rng seed");
+    args.add_flag("sparse", "false",
+                  "submit synthetic sparse coflows (n²-free ingestion) "
+                  "instead of prepared workloads");
     args.parse(argc, argv);
 
     const auto nodes = static_cast<std::size_t>(args.get_int("nodes"));
@@ -101,9 +110,25 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("working-set"));
     const double target_qps = args.get_double("target-qps");
     const std::string scheduler = args.get("scheduler");
+    const bool sparse = args.get_bool("sparse");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
-    const auto workloads = make_workloads(
-        nodes, working_set, static_cast<std::uint64_t>(args.get_int("seed")));
+    // --sparse pre-generates the whole stream as flow lists; nothing on that
+    // path (generation, submission, Engine epoch) allocates O(nodes²), so
+    // the same driver scales to 10k-rack fabrics.
+    std::vector<std::shared_ptr<const ccf::data::Workload>> workloads;
+    std::vector<ccf::net::SparseCoflowSpec> sparse_specs;
+    if (sparse) {
+      ccf::net::SyntheticTraceOptions trace_options;
+      trace_options.racks = nodes;
+      trace_options.coflows = total;
+      trace_options.duration_seconds = 6e-3 * static_cast<double>(total);
+      ccf::util::Pcg32 rng(ccf::util::derive_seed(seed, 83), 83);
+      sparse_specs = ccf::net::to_sparse_coflow_specs(
+          ccf::net::generate_synthetic_trace(trace_options, rng));
+    } else {
+      workloads = make_workloads(nodes, working_set, seed);
+    }
 
     ccf::core::ServiceOptions options;
     options.engine.nodes = nodes;
@@ -160,11 +185,16 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::duration>(spacing);
       }
       const std::size_t tenant = i % tenant_count;
-      std::string name = "q";
-      name += std::to_string(i);
-      ccf::core::QuerySpec spec(std::move(name), workloads[i % working_set],
-                                scheduler);
-      const ccf::core::SubmitResult r = service.submit(tenant, std::move(spec));
+      ccf::core::SubmitResult r;
+      if (sparse) {
+        r = service.submit(tenant, std::move(sparse_specs[i]));
+      } else {
+        std::string name = "q";
+        name += std::to_string(i);
+        ccf::core::QuerySpec spec(std::move(name), workloads[i % working_set],
+                                  scheduler);
+        r = service.submit(tenant, std::move(spec));
+      }
       switch (r.status) {
         case ccf::core::SubmitStatus::kAccepted:
           ++per_tenant[tenant].accepted;

@@ -5,8 +5,12 @@
 //           [--topology SPEC [--routing ecmp|greedy|joint]]
 //           [--faults faults.csv [--replace] [--replace-threshold X]]
 //
-// flows.csv rows: src,dst,bytes (optional header). Prints the coflow
-// completion time, the analytic optimum Γ, traffic, and bottleneck ports.
+// flows.csv rows: src,dst,bytes (optional header), streamed into the
+// columnar net::Demand — nothing on the ingestion path is nodes². Prints the
+// coflow completion time, the analytic optimum Γ, traffic, and bottleneck
+// ports. --sparse-flows registers the coflow with the simulator as a
+// SparseCoflowSpec flow list instead of a dense matrix (same results; the
+// n²-free path for very wide fabrics).
 // With --racks/--hosts the simulation runs on a two-tier rack topology.
 // --topology runs it on a general multipath topology instead
 // (net::TopologySpec grammar, e.g. "leafspine:racks=32,hosts=16,spines=4,
@@ -51,11 +55,13 @@ int main(int argc, char** argv) {
                   "re-place flow remainders off failed destination ports");
     args.add_flag("replace-threshold", "0",
                   "ingress scale at or below which --replace triggers");
+    args.add_flag("sparse-flows", "false",
+                  "register the coflow as a sparse flow list (n²-free)");
     args.parse(argc, argv);
 
     if (!ccf::tools::require_flag(args, "flows")) return 2;
     const double rate = ccf::tools::port_rate(args);
-    ccf::net::FlowMatrix flows = ccf::tools::load_flow_matrix(args);
+    ccf::net::Demand demand = ccf::tools::load_demand(args);
 
     std::shared_ptr<const ccf::net::Network> network;
     const auto racks = static_cast<std::size_t>(args.get_int("racks"));
@@ -64,37 +70,33 @@ int main(int argc, char** argv) {
           ccf::net::TopologySpec::parse(args.get("topology"));
       spec.host_rate = rate;
       const auto topology = ccf::net::make_topology(spec);
-      if (topology->nodes() < flows.nodes()) {
+      if (topology->nodes() < demand.nodes()) {
         std::cerr << "error: topology has fewer nodes than the flow matrix\n";
         return 2;
       }
-      // Pad the matrix to the topology width, then route it.
-      ccf::net::FlowMatrix padded(topology->nodes());
-      for (std::size_t i = 0; i < flows.nodes(); ++i) {
-        for (std::size_t j = 0; j < flows.nodes(); ++j) {
-          if (i != j) padded.set(i, j, flows.volume(i, j));
-        }
-      }
-      flows = std::move(padded);
+      // Re-interpret the triples over the topology width, then route them.
+      demand.widen(topology->nodes());
       const auto policy =
           ccf::core::registry::make_routing(args.get("routing"));
       network = std::make_shared<const ccf::net::RoutedTopology>(
-          topology, policy->choose(*topology, flows));
+          topology, policy->choose(*topology, demand));
     } else if (racks > 0) {
       const auto hosts = static_cast<std::size_t>(args.get_int("hosts"));
       network = std::make_shared<const ccf::net::RackFabric>(
           racks, hosts, rate, args.get_double("oversub"));
-      if (network->nodes() < flows.nodes()) {
+      if (network->nodes() < demand.nodes()) {
         std::cerr << "error: topology has fewer nodes than the flow matrix\n";
         return 2;
       }
+      demand.widen(network->nodes());
     } else {
-      network = std::make_shared<const ccf::net::Fabric>(flows.nodes(), rate);
+      network =
+          std::make_shared<const ccf::net::Fabric>(demand.nodes(), rate);
     }
 
-    const double gamma = ccf::net::gamma_bound(flows, *network);
-    const double traffic = flows.traffic();
-    const std::size_t count = flows.flow_count();
+    const double gamma = ccf::net::gamma_bound(demand, *network);
+    const double traffic = demand.traffic();
+    const std::size_t count = demand.flow_count();
 
     ccf::net::Simulator sim(
         network, ccf::core::registry::make_allocator(args.get("allocator")));
@@ -106,7 +108,12 @@ int main(int argc, char** argv) {
       sim.set_faults(ccf::net::fault_schedule_from_csv(args.get("faults")),
                      fault_options);
     }
-    sim.add_coflow(ccf::net::CoflowSpec("input", 0.0, std::move(flows)));
+    if (args.get_bool("sparse-flows")) {
+      sim.add_coflow(
+          ccf::net::SparseCoflowSpec("input", 0.0, demand.to_flows()));
+    } else {
+      sim.add_coflow(ccf::net::CoflowSpec("input", 0.0, demand.to_matrix()));
+    }
     const ccf::net::SimReport report = sim.run();
 
     ccf::util::Table t({"metric", "value"});

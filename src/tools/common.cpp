@@ -33,9 +33,13 @@ bool require_flag(const util::ArgParser& args, const std::string& flag) {
   return false;
 }
 
-net::FlowMatrix load_flow_matrix(const util::ArgParser& args) {
-  return net::flow_matrix_from_csv(
+net::Demand load_demand(const util::ArgParser& args) {
+  return net::demand_from_csv(
       args.get("flows"), static_cast<std::size_t>(args.get_int("nodes")));
+}
+
+net::FlowMatrix load_flow_matrix(const util::ArgParser& args) {
+  return load_demand(args).to_matrix();
 }
 
 data::ChunkMatrix load_chunk_matrix(const util::ArgParser& args) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/chunk_matrix.hpp"
+#include "net/demand.hpp"
 #include "net/flow.hpp"
 #include "util/cli.hpp"
 
@@ -27,8 +28,12 @@ double port_rate(const util::ArgParser& args);
 /// (callers exit with code 2 — the tools' usage-error convention).
 bool require_flag(const util::ArgParser& args, const std::string& flag);
 
-/// Load the --flows CSV ("src,dst,bytes" rows) into an n x n flow matrix,
-/// honoring --nodes (0 = infer from the CSV).
+/// Stream the --flows CSV ("src,dst,bytes" rows) into a columnar demand,
+/// honoring --nodes (0 = infer from the CSV). This is the tools' one
+/// ingestion path: memory scales with the triple count, not nodes².
+net::Demand load_demand(const util::ArgParser& args);
+
+/// load_demand densified — for callers that still want the n x n view.
 net::FlowMatrix load_flow_matrix(const util::ArgParser& args);
 
 /// Load the --chunks CSV ("partition,node,bytes" rows) into a chunk matrix.
